@@ -1,0 +1,78 @@
+// Ablation of the gateway's vertical scaling (§4.2): "We apply vertical
+// scaling of the gateway by dynamically adjusting the number of assigned
+// CPU cores based on the load level. This avoids the gateway becoming the
+// dataplane bottleneck and impacting the aggregation speed."
+//
+// A burst of client uploads hits one LIFL node; the gateway performs the
+// one-time payload processing for each. With a fixed single core the
+// gateway serializes the burst; scaled to match the load it disappears
+// from the critical path.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/dataplane/dataplane.hpp"
+#include "src/fl/model_spec.hpp"
+#include "src/sim/random.hpp"
+#include "src/systems/table.hpp"
+
+using namespace lifl;
+
+namespace {
+
+struct IngestOutcome {
+  double last_enqueued_secs = 0.0;  ///< burst fully queued in shm
+  double gateway_wait_secs = 0.0;   ///< total queueing at the gateway
+};
+
+IngestOutcome run_burst(std::uint32_t gateway_cores, std::uint32_t uploads,
+                        std::size_t bytes) {
+  sim::Simulator sim;
+  sim::Cluster cluster(sim, 1);
+  dp::DataPlane plane(cluster, dp::lifl_plane(), sim::Rng(3));
+  plane.set_gateway_cores(0, gateway_cores);
+
+  std::uint32_t done = 0;
+  IngestOutcome out;
+  for (std::uint32_t i = 0; i < uploads; ++i) {
+    fl::ModelUpdate u;
+    u.model_version = 1;
+    u.producer = 100 + i;
+    u.sample_count = 600;
+    u.logical_bytes = bytes;
+    plane.client_upload(0, std::move(u), /*uplink=*/1e9, [&] {
+      ++done;
+      out.last_enqueued_secs = sim.now();
+    });
+  }
+  sim.run();
+  out.gateway_wait_secs = plane.env(0).gateway.total_wait_time();
+  if (done != uploads) {
+    std::fprintf(stderr, "burst did not finish\n");
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t uploads = 16;
+  const std::size_t bytes = fl::models::resnet152().bytes();
+  std::printf(
+      "Ablation — gateway vertical scaling (§4.2): %u concurrent ResNet-152 "
+      "uploads into one node\n",
+      uploads);
+
+  sys::Table t({"gateway cores", "burst ingested by (s)",
+                "total gateway queueing (s)"});
+  for (const std::uint32_t cores : {1u, 2u, 4u, 8u}) {
+    const auto out = run_burst(cores, uploads, bytes);
+    t.row({std::to_string(cores), sys::fmt(out.last_enqueued_secs, 2),
+           sys::fmt(out.gateway_wait_secs, 2)});
+  }
+  t.print(
+      "Fixed-size gateways serialize the burst; vertical scaling removes "
+      "the gateway from the critical path");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Reproduces Fig. 10: time series of the two §6.2 workloads —
+//   (a)/(d) arrival rate of model updates per minute,
+//   (b)/(e) number of active aggregators over time (SF flat/always-on,
+//           SL and LIFL tracking load, LIFL lowest),
+//   (c)/(f) cumulative CPU time (seconds) per round (SL highest; LIFL
+//           well under SF for the same aggregation work).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/systems/system_config.hpp"
+#include "src/systems/table.hpp"
+#include "src/systems/training_experiment.hpp"
+
+using namespace lifl;
+
+namespace {
+
+sys::TrainingConfig setup_for(bool resnet18) {
+  sys::TrainingConfig cfg;
+  if (resnet18) {
+    cfg.model = fl::models::resnet18();
+    cfg.active_per_round = 120;
+    cfg.mobile_clients = true;
+    cfg.base_train_secs = sim::calib::kTrainSecsResNet18;
+    cfg.curve = ml::AccuracyModel::resnet18_femnist();
+  } else {
+    cfg.model = fl::models::resnet152();
+    cfg.active_per_round = 15;
+    cfg.mobile_clients = false;
+    cfg.base_train_secs = sim::calib::kTrainSecsResNet152;
+    cfg.curve = ml::AccuracyModel::resnet152_femnist();
+  }
+  cfg.cluster_nodes = 5;
+  cfg.population = 2800;
+  // Fig. 10 plots the first ~1.5 h of each run.
+  cfg.max_hours = 1.5;
+  cfg.max_rounds = 100;
+  cfg.sample_period_secs = 60.0;
+  return cfg;
+}
+
+/// Active-aggregator count at time `t` from a sampled series.
+std::size_t active_at(
+    const std::vector<std::pair<double, std::size_t>>& series, double t) {
+  std::size_t last = 0;
+  for (const auto& [when, count] : series) {
+    if (when > t) break;
+    last = count;
+  }
+  return last;
+}
+
+void run_workload(const std::string& label, bool resnet18) {
+  const auto cfg = setup_for(resnet18);
+  const std::vector<sys::SystemConfig> systems = {
+      sys::make_serverful(), sys::make_serverless(), sys::make_lifl()};
+
+  std::vector<sys::TrainingResult> results;
+  for (const auto& system : systems) {
+    sys::TrainingExperiment exp(system, cfg);
+    results.push_back(exp.run());
+  }
+
+  // (a)/(d) Arrival rate per minute — workload property, shown once (LIFL's
+  // run; all systems see statistically identical client behavior).
+  {
+    const auto& bins = results.back().arrivals_per_min;
+    sys::Table t({"minute", "updates/min"});
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      t.row({std::to_string(i), std::to_string(bins[i])});
+    }
+    t.print("Fig. 10 — " + label + " arrival rate per minute" +
+            (resnet18 ? " (mobile: bursty)" : " (server: stable)"));
+  }
+
+  // (b)/(e) Active aggregators sampled every 5 minutes.
+  {
+    double horizon = 0.0;
+    for (const auto& r : results) horizon = std::max(horizon, r.wall_secs);
+    sys::Table t({"t(min)", results[0].system, results[1].system,
+                  results[2].system});
+    for (double ts = 0.0; ts <= horizon; ts += 300.0) {
+      t.row({sys::fmt(ts / 60.0, 0),
+             std::to_string(active_at(results[0].active_aggs, ts)),
+             std::to_string(active_at(results[1].active_aggs, ts)),
+             std::to_string(active_at(results[2].active_aggs, ts))});
+    }
+    t.print("Fig. 10 — " + label +
+            " active aggregators over time (SF flat; LIFL lowest)");
+  }
+
+  // (c)/(f) Cumulative CPU seconds per round.
+  {
+    std::size_t rounds = 0;
+    for (const auto& r : results) rounds = std::max(rounds, r.rounds.size());
+    sys::Table t({"round", results[0].system + " cpu(s)",
+                  results[1].system + " cpu(s)", results[2].system + " cpu(s)"});
+    const std::size_t step = rounds > 16 ? rounds / 16 : 1;
+    for (std::size_t i = 0; i < rounds; i += step) {
+      std::vector<std::string> row{std::to_string(i + 1)};
+      for (const auto& r : results) {
+        row.push_back(i < r.rounds.size() ? sys::fmt(r.rounds[i].cpu_secs, 1)
+                                          : "");
+      }
+      t.row(row);
+    }
+    t.print("Fig. 10 — " + label +
+            " cumulative CPU time (s) per round (SL highest)");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig. 10 — time series: arrival rate, active aggregators, CPU/round\n");
+  run_workload("ResNet-18", true);
+  run_workload("ResNet-152", false);
+  return 0;
+}

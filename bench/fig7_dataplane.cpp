@@ -1,0 +1,90 @@
+// Reproduces Fig. 7: data-plane improvement for hierarchical aggregation.
+//  (a) latency of a single intra-node model-update transfer (leaf -> top)
+//      for ResNet-18/34/152 under LIFL / SF / SL, with the serverless
+//      sidecar (+SC) and broker (+MB) shares broken out;
+//  (b) CPU cycles of the same transfer;
+//  (c) LIFL's aggregation timing with the Fig. 4 hierarchy (paper: round
+//      completes in ~44.9 s vs ~57 s serverful).
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/dataplane/probe.hpp"
+
+using namespace lifl;
+
+namespace {
+
+struct TransferCost {
+  double latency = 0;
+  double gcycles = 0;
+  double sidecar_gcycles = 0;
+  double broker_gcycles = 0;
+};
+
+TransferCost measure(dp::DataPlaneConfig cfg, std::size_t bytes) {
+  sim::Simulator sim;
+  sim::Cluster cluster(sim, 1);
+  dp::DataPlane plane(cluster, cfg, sim::Rng(42));
+  TransferCost out;
+  dp::measure_transfer(plane, 0, 0, bytes,
+                       [&](double l) { out.latency = l; });
+  sim.run();
+  plane.settle_idle_costs();
+  const auto& cpu = cluster.node(0).cpu();
+  out.gcycles = cpu.total_cycles() / 1e9;
+  out.sidecar_gcycles = cpu.cycles(sim::CostTag::kSidecarContainer) / 1e9;
+  out.broker_gcycles = cpu.cycles(sim::CostTag::kBroker) / 1e9;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::pair<std::string, fl::ModelSpec>> models = {
+      {"ResNet-18", fl::models::resnet18()},
+      {"ResNet-34", fl::models::resnet34()},
+      {"ResNet-152", fl::models::resnet152()},
+  };
+
+  std::printf("Fig. 7 — data plane improvement for hierarchical aggregation\n");
+
+  // ---- (a) + (b): single intra-node transfer.
+  sys::Table a({"model", "LIFL(s)", "SF(s)", "SL(s)", "SL:+SC(s)",
+                "SL:+MB(s)", "SF/LIFL", "SL/LIFL"});
+  sys::Table b({"model", "LIFL(Gcyc)", "SF(Gcyc)", "SL(Gcyc)", "SL +SC share",
+                "SL +MB share"});
+  for (const auto& [name, spec] : models) {
+    const auto lifl = measure(dp::lifl_plane(), spec.bytes());
+    const auto sf = measure(dp::serverful_plane(), spec.bytes());
+    const auto sl = measure(dp::serverless_plane(), spec.bytes());
+    // Latency shares of the serverless extras, attributed by their cycle
+    // shares of the end-to-end path.
+    const double sc_lat = sl.latency * sl.sidecar_gcycles / sl.gcycles;
+    const double mb_lat = sl.latency * sl.broker_gcycles / sl.gcycles;
+    a.row({name, sys::fmt(lifl.latency), sys::fmt(sf.latency),
+           sys::fmt(sl.latency), sys::fmt(sc_lat), sys::fmt(mb_lat),
+           sys::fmt(sf.latency / lifl.latency, 1),
+           sys::fmt(sl.latency / lifl.latency, 1)});
+    b.row({name, sys::fmt(lifl.gcycles), sys::fmt(sf.gcycles),
+           sys::fmt(sl.gcycles),
+           sys::fmt(100 * sl.sidecar_gcycles / sl.gcycles, 0) + "%",
+           sys::fmt(100 * sl.broker_gcycles / sl.gcycles, 0) + "%"});
+  }
+  a.print("Fig. 7(a) — intra-node transfer latency "
+          "(paper LIFL: 0.14 / 0.25 / 0.76 s; SF ~3x, SL ~6x LIFL)");
+  b.print("Fig. 7(b) — intra-node transfer CPU "
+          "(paper LIFL: 0.21 / 0.24 / 2.45 Gcycles; SL worst)");
+
+  // ---- (c): the Fig. 4 experiment on LIFL's data plane.
+  const auto lifl_wh = bench::run_trainer_rounds(
+      dp::lifl_plane(), /*hierarchy=*/true, 4, 8,
+      fl::models::resnet152().bytes(), 40.0, 1.2,
+      sim::calib::kServerUplinkBytesPerSec, /*seed=*/11);
+  bench::print_timeline("Fig. 7(c) — LIFL aggregation timing (ResNet-152)",
+                        lifl_wh);
+  std::printf("\nmean round time on LIFL: %.1f s   "
+              "(paper: 44.9 s vs 57 s serverful WH)\n",
+              bench::mean_round_secs(lifl_wh));
+  return 0;
+}

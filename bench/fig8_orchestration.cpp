@@ -1,0 +1,129 @@
+// Reproduces Fig. 8: the contribution of each LIFL orchestration mechanism,
+// applied cumulatively to a baseline serverless control plane (SL-H) that
+// already runs on LIFL's shared-memory data plane:
+//   (1) locality-aware placement        (§5.1, BestFit bin-packing)
+//   (2) hierarchy planning              (§5.2, proactive two-level trees)
+//   (3) opportunistic aggregator reuse  (§5.3, warm role promotion)
+//   (4) eager aggregation               (§5.4)
+// Metrics, for 20/60/100 concurrently arriving ResNet-152 updates on a
+// 5-node cluster with MC_i = 20:
+//   (a) aggregation completion time, (b) cumulative CPU time,
+//   (c) aggregators created,          (d) nodes used.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/fl/model_spec.hpp"
+#include "src/sim/calibration.hpp"
+#include "src/systems/aggregation_service.hpp"
+#include "src/systems/system_config.hpp"
+#include "src/systems/table.hpp"
+
+using namespace lifl;
+
+namespace {
+
+struct Outcome {
+  double act = 0;
+  double cpu_secs = 0;
+  std::uint32_t created = 0;
+  std::size_t nodes_used = 0;
+};
+
+Outcome run_batch(sys::SystemConfig cfg, std::uint32_t updates) {
+  sim::Simulator sim;
+  sim::Cluster cluster(sim, 5);
+  dp::DataPlane plane(cluster, cfg.plane, sim::Rng(42));
+  cfg.node_max_capacity = 20.0;  // MC_i of the testbed (§6.1)
+  sys::AggregationService service(cluster, plane, cfg);
+
+  if (cfg.reuse) {
+    // §6.1: "the importance of having warm aggregators based on the
+    // pre-planned hierarchy" — reuse experiments start with a warm pool.
+    service.prewarm(std::vector<std::uint32_t>(5, 6));
+  }
+
+  const auto assignment = service.place_updates(updates);
+  std::vector<std::uint32_t> counts(cluster.size(), 0);
+  for (auto n : assignment) counts[n]++;
+
+  // §6.1: "we assume the estimated Q_{i,t} is equal to the actual queue
+  // length on each active node" — updates are already queued in place when
+  // aggregation starts, so ACT measures the aggregation service itself.
+  for (std::uint32_t i = 0; i < updates; ++i) {
+    fl::ModelUpdate u;
+    u.model_version = 1;
+    u.producer = 5000 + i;
+    u.sample_count = 600;
+    u.logical_bytes = fl::models::resnet152().bytes();
+    plane.seed_update(assignment[i], std::move(u));
+  }
+
+  Outcome out;
+  bool done = false;
+  service.arm(counts, 1, fl::models::resnet152().bytes(),
+              [&](const sys::AggregationService::BatchResult& b) {
+                out.act = b.act();
+                out.created = b.created;
+                out.nodes_used = b.nodes_used;
+                done = true;
+              });
+  sim.run();
+  if (!done) {
+    std::fprintf(stderr, "batch for %s/%u did not complete\n",
+                 cfg.name.c_str(), updates);
+    std::exit(1);
+  }
+  plane.settle_idle_costs();
+  out.cpu_secs = cluster.total_cpu().total_seconds(sim::calib::kCpuHz);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::pair<std::string, sys::SystemConfig>> systems = {
+      {"SL-H", sys::make_lifl_ablation(false, false, false, false)},
+      {"+(1)", sys::make_lifl_ablation(true, false, false, false)},
+      {"+(1)(2)", sys::make_lifl_ablation(true, true, false, false)},
+      {"+(1)(2)(3)", sys::make_lifl_ablation(true, true, true, false)},
+      {"+(1)(2)(3)(4)", sys::make_lifl_ablation(true, true, true, true)},
+  };
+  const std::vector<std::uint32_t> loads = {20, 60, 100};
+
+  std::printf("Fig. 8 — improvement with LIFL's orchestration "
+              "(5 nodes, MC=20, ResNet-152 updates)\n");
+  std::printf("(1)=locality-aware placement (2)=hierarchy planning "
+              "(3)=aggregator reuse (4)=eager aggregation\n");
+
+  sys::Table a({"system", "20 upd ACT(s)", "60 upd ACT(s)", "100 upd ACT(s)"});
+  sys::Table b({"system", "20 upd CPU(s)", "60 upd CPU(s)", "100 upd CPU(s)"});
+  sys::Table c({"system", "20 upd #agg", "60 upd #agg", "100 upd #agg"});
+  sys::Table d({"system", "20 upd #nodes", "60 upd #nodes", "100 upd #nodes"});
+
+  for (const auto& [label, cfg] : systems) {
+    std::vector<Outcome> outs;
+    for (const auto n : loads) outs.push_back(run_batch(cfg, n));
+    a.row({label, sys::fmt(outs[0].act, 1), sys::fmt(outs[1].act, 1),
+           sys::fmt(outs[2].act, 1)});
+    b.row({label, sys::fmt(outs[0].cpu_secs, 1), sys::fmt(outs[1].cpu_secs, 1),
+           sys::fmt(outs[2].cpu_secs, 1)});
+    c.row({label, std::to_string(outs[0].created),
+           std::to_string(outs[1].created), std::to_string(outs[2].created)});
+    d.row({label, std::to_string(outs[0].nodes_used),
+           std::to_string(outs[1].nodes_used),
+           std::to_string(outs[2].nodes_used)});
+  }
+
+  a.print("Fig. 8(a) — aggregation completion time "
+          "(paper: +(1) cuts SL-H by ~2.1x @20, ~1.13x @60; "
+          "+(2)(3) ~1.22x more; +(4) ~1.2x more; benefits fade @100)");
+  b.print("Fig. 8(b) — cumulative CPU time (paper: placement saves most; "
+          "reuse avoids startup CPU)");
+  c.print("Fig. 8(c) — aggregators created "
+          "(paper: reuse creates far fewer)");
+  d.print("Fig. 8(d) — nodes used "
+          "(paper: locality packs 20/60/100 updates into 1/3/5 nodes; "
+          "SL-H always uses 5)");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Reproduces Fig. 9: end-to-end time-to-accuracy and cost-to-accuracy of
+// SF (serverful), SL (serverless baseline), and LIFL on the two §6.2
+// workloads:
+//   (a,b) ResNet-18, 120 simultaneously active mobile clients per round
+//         drawn from a 2,800-client population, hibernation U[0,60] s;
+//   (c,d) ResNet-152, 15 always-on server clients per round.
+// Paper anchors (70% accuracy):
+//   ResNet-18 : LIFL 0.9 h / 4.5 CPU-h, SF 1.4 h / 8 CPU-h, SL 2.4 h / 26
+//   ResNet-152: LIFL 1.9 h / 4.76 CPU-h, SF 2.2 h / 6.81, SL 3.2 h / 20.4
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/systems/system_config.hpp"
+#include "src/systems/table.hpp"
+#include "src/systems/training_experiment.hpp"
+
+using namespace lifl;
+
+namespace {
+
+sys::TrainingConfig resnet18_setup() {
+  sys::TrainingConfig cfg;
+  cfg.model = fl::models::resnet18();
+  cfg.cluster_nodes = 5;
+  cfg.population = 2800;
+  cfg.active_per_round = 120;
+  cfg.mobile_clients = true;
+  cfg.base_train_secs = sim::calib::kTrainSecsResNet18;
+  cfg.curve = ml::AccuracyModel::resnet18_femnist();
+  cfg.target_accuracy = 0.70;
+  cfg.max_rounds = 100;
+  cfg.max_hours = 6.0;
+  return cfg;
+}
+
+sys::TrainingConfig resnet152_setup() {
+  sys::TrainingConfig cfg;
+  cfg.model = fl::models::resnet152();
+  cfg.cluster_nodes = 5;
+  cfg.population = 2800;
+  cfg.active_per_round = 15;
+  cfg.mobile_clients = false;
+  cfg.base_train_secs = sim::calib::kTrainSecsResNet152;
+  cfg.curve = ml::AccuracyModel::resnet152_femnist();
+  cfg.target_accuracy = 0.70;
+  cfg.max_rounds = 170;
+  cfg.max_hours = 6.0;
+  return cfg;
+}
+
+struct SetupSpec {
+  std::string label;
+  sys::TrainingConfig cfg;
+};
+
+/// Prints accuracy-vs-wall-clock and accuracy-vs-CPU curves plus the
+/// 70%-crossing summary for one workload across the three systems.
+void run_workload(const SetupSpec& setup) {
+  const std::vector<sys::SystemConfig> systems = {
+      sys::make_serverful(), sys::make_serverless(), sys::make_lifl()};
+
+  std::vector<sys::TrainingResult> results;
+  for (const auto& system : systems) {
+    sys::TrainingExperiment exp(system, setup.cfg);
+    results.push_back(exp.run());
+  }
+
+  // Sampled accuracy curves: one row per round milestone, per system.
+  sys::Table curve({"system", "round", "wall(h)", "cpu(h)", "accuracy(%)"});
+  for (const auto& r : results) {
+    const std::size_t step = r.rounds.size() > 12 ? r.rounds.size() / 12 : 1;
+    double cpu_running = 0.0;
+    for (std::size_t i = 0; i < r.rounds.size(); ++i) {
+      cpu_running += r.rounds[i].cpu_secs;
+      if (i % step != 0 && i + 1 != r.rounds.size()) continue;
+      const auto& rec = r.rounds[i];
+      curve.row({r.system, std::to_string(rec.round),
+                 sys::fmt(rec.completed_at / 3600.0, 2),
+                 sys::fmt(cpu_running / 3600.0, 2),
+                 sys::fmt(rec.accuracy * 100.0, 1)});
+    }
+  }
+  curve.print("Fig. 9 — " + setup.label + " accuracy trajectories");
+
+  sys::Table summary({"system", "time to 70% (h)", "CPU to 70% (h)",
+                      "rounds", "final acc(%)"});
+  for (const auto& r : results) {
+    summary.row({r.system,
+                 r.secs_to_target >= 0 ? sys::fmt(r.secs_to_target / 3600.0, 2)
+                                       : "n/a",
+                 r.cpu_hours_to_target >= 0 ? sys::fmt(r.cpu_hours_to_target, 2)
+                                            : "n/a",
+                 std::to_string(r.rounds.size()),
+                 sys::fmt(r.final_accuracy * 100.0, 1)});
+  }
+  summary.print("Fig. 9 — " + setup.label + " time/cost to 70% accuracy");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig. 9 — time-to-accuracy and cost-to-accuracy, SF vs SL vs LIFL\n"
+      "(paper: ResNet-18  LIFL 0.9h/4.5CPUh, SF 1.4h/8CPUh, SL 2.4h/26CPUh;\n"
+      "        ResNet-152 LIFL 1.9h/4.76CPUh, SF 2.2h/6.81, SL 3.2h/20.4)\n");
+  run_workload({"ResNet-18, 120 active mobile clients", resnet18_setup()});
+  run_workload({"ResNet-152, 15 active server clients", resnet152_setup()});
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Cross-device FL campaign on mobile clients — the scenario that motivates
+// LIFL's elasticity (§1, §6.2 ResNet-18 setup).
+//
+// A population of 2,800 phone-class clients with dynamic availability
+// (battery/WiFi hibernation) feeds 120 simultaneously active trainers per
+// round into a 5-node aggregation cluster. The example runs the same
+// campaign on the serverless baseline (SL) and on LIFL, and reports what an
+// ML-ops engineer would watch: per-round completion time, aggregation
+// completion time (ACT), CPU burned, and the instance churn the autoscaler
+// produces.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/example_mobile_campaign
+
+#include <cstdio>
+
+#include "src/systems/system_config.hpp"
+#include "src/systems/table.hpp"
+#include "src/systems/training_experiment.hpp"
+
+int main() {
+  using namespace lifl;
+
+  sys::TrainingConfig campaign;
+  campaign.model = fl::models::resnet18();
+  campaign.cluster_nodes = 5;
+  campaign.population = 2800;
+  campaign.active_per_round = 120;
+  campaign.mobile_clients = true;  // hibernate U[0,60] s before training
+  campaign.base_train_secs = sim::calib::kTrainSecsResNet18;
+  campaign.curve = ml::AccuracyModel::resnet18_femnist();
+  campaign.target_accuracy = 0.70;
+  campaign.max_rounds = 12;  // a short campaign slice for the example
+  // Mobile fleets are flaky: 3% of selected clients drop out mid-round; the
+  // selector's keep-alive heartbeat detects and replaces them (§3).
+  campaign.dropout_rate = 0.03;
+
+  std::printf("Mobile FL campaign: %zu-client population, %zu active/round, "
+              "%zu aggregation nodes\n\n",
+              campaign.population, campaign.active_per_round,
+              campaign.cluster_nodes);
+
+  for (const auto& system : {sys::make_serverless(), sys::make_lifl()}) {
+    sys::TrainingExperiment experiment(system, campaign);
+    const sys::TrainingResult result = experiment.run();
+
+    sys::Table t({"round", "duration(s)", "ACT(s)", "cpu(s)", "created",
+                  "reused", "nodes"});
+    for (const auto& r : result.rounds) {
+      t.row({std::to_string(r.round), sys::fmt(r.completed_at - r.started_at, 1),
+             sys::fmt(r.act, 1), sys::fmt(r.cpu_secs, 1),
+             std::to_string(r.created), std::to_string(r.reused),
+             std::to_string(r.nodes_used)});
+    }
+    t.print(result.system + " — per-round view");
+    std::printf("%s totals: %.2f h wall, %.2f CPU-h, final accuracy %.1f%%\n",
+                result.system.c_str(), result.wall_secs / 3600.0,
+                result.cpu_hours_total, result.final_accuracy * 100.0);
+  }
+
+  std::printf(
+      "\nLIFL completes the same rounds with a fraction of the CPU: its\n"
+      "hierarchy is planned per-node from queue estimates, instances are\n"
+      "reused across levels, and updates move through shared memory.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/control/metrics_server.hpp"
+#include "src/dataplane/dataplane.hpp"
+#include "src/fl/aggregator_runtime.hpp"
+#include "src/sim/calibration.hpp"
+
+namespace lifl::ctrl {
+
+/// The per-node LIFL agent (Fig. 3): manages the lifecycle of aggregator
+/// instances on its worker node, polls the eBPF metrics map into the
+/// cluster metrics server, vertically scales the gateway, and services
+/// checkpoint requests — all on instruction from the LIFL control plane.
+class NodeAgent {
+ public:
+  struct Config {
+    sim::NodeId node = 0;
+    /// Cold-start profile of new instances on this platform.
+    double cold_start_secs = sim::calib::kLiflColdStartSecs;
+    double cold_start_cycles = sim::calib::kLiflColdStartCycles;
+    /// Reactive control planes begin the cold start at first update
+    /// (cascading); proactive ones at spawn time.
+    fl::ColdStartTrigger cold_trigger = fl::ColdStartTrigger::kOnStart;
+    /// Bill a container sidecar's always-on draw per live instance (SL).
+    bool container_sidecar = false;
+    /// Metrics-map poll period (§4.3).
+    double metrics_poll_secs = sim::calib::kMetricsPollSecs;
+  };
+
+  NodeAgent(dp::DataPlane& plane, MetricsServer* metrics, Config cfg);
+  ~NodeAgent();
+  NodeAgent(const NodeAgent&) = delete;
+  NodeAgent& operator=(const NodeAgent&) = delete;
+
+  /// Create an aggregator instance for `cfg`, reusing an idle warm instance
+  /// when `allow_reuse` (§5.3: zero start-up, stateless role conversion).
+  /// Returns the runtime; it is started (cold start per agent config unless
+  /// reused or `warm` is set, e.g. for always-on serverful deployments).
+  fl::AggregatorRuntime& spawn(fl::AggregatorRuntime::Config cfg,
+                               bool allow_reuse, bool warm = false);
+
+  /// Park a finished (done + idle) instance into the warm pool for reuse.
+  void park(fl::AggregatorRuntime& rt);
+
+  /// Terminate one live instance.
+  void terminate(fl::AggregatorRuntime& rt);
+
+  /// Terminate every instance (live and warm).
+  void terminate_all();
+
+  /// Terminate warm-pool instances only (scale-down of spare capacity).
+  void terminate_warm();
+
+  /// Begin the periodic metrics-map poll loop feeding the metrics server.
+  void start_metrics_loop();
+  void stop_metrics_loop();
+
+  /// Vertical gateway scaling (§4.2): size gateway cores to the arrival
+  /// rate so ingest never becomes the data-plane bottleneck.
+  void autoscale_gateway(double arrivals_per_sec, double secs_per_update);
+
+  // ------------------------------------------------------------- stats
+  std::uint32_t created() const noexcept { return created_; }
+  std::uint32_t reused() const noexcept { return reused_; }
+  std::size_t live() const noexcept { return live_.size(); }
+  std::size_t warm() const noexcept { return warm_.size(); }
+  sim::NodeId node() const noexcept { return cfg_.node; }
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  dp::DataPlane& plane_;
+  MetricsServer* metrics_;  ///< may be null (no control-plane feedback)
+  Config cfg_;
+
+  struct Instance {
+    std::unique_ptr<fl::AggregatorRuntime> runtime;
+    dp::IdleHandle sidecar_draw = 0;  ///< container sidecar draw, if any
+  };
+
+  Instance make_instance(fl::AggregatorRuntime::Config cfg, bool warm);
+  void destroy(Instance& inst);
+
+  std::vector<Instance> live_;
+  std::deque<Instance> warm_;
+  std::uint32_t created_ = 0;
+  std::uint32_t reused_ = 0;
+  bool polling_ = false;
+  std::shared_ptr<bool> poll_alive_;
+  std::shared_ptr<std::function<void()>> tick_;
+};
+
+}  // namespace lifl::ctrl

@@ -1,0 +1,74 @@
+#include "src/control/capacity_estimator.hpp"
+
+#include <stdexcept>
+
+#include "src/sim/random.hpp"
+#include "src/sim/resource.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace lifl::ctrl {
+
+namespace {
+
+/// One load probe: Poisson arrivals at `rate` into `slots` parallel lanes,
+/// each holding a lane for `service_secs`. Returns the mean sojourn
+/// (queueing + service) time over the sampled jobs, after a warm-up prefix.
+double probe_exec_time(std::uint32_t slots, double service_secs, double rate,
+                       std::uint32_t samples, std::uint64_t seed) {
+  sim::Simulator sim;
+  sim::Resource lanes(sim, "agg-slots", slots);
+  sim::Rng rng(seed);
+
+  const std::uint32_t warmup = samples / 5;
+  const std::uint32_t total = samples + warmup;
+  double measured_sum = 0.0;
+  std::uint32_t measured = 0;
+
+  double arrival = 0.0;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    arrival += rng.exponential(rate);
+    sim.schedule_after(arrival, [&, i, submitted = arrival] {
+      lanes.acquire(service_secs, [&, i, submitted] {
+        if (i >= warmup) {
+          measured_sum += sim.now() - submitted;
+          ++measured;
+        }
+      });
+    });
+  }
+  sim.run();
+  return measured > 0 ? measured_sum / measured : service_secs;
+}
+
+}  // namespace
+
+CapacityEstimator::Result CapacityEstimator::estimate(const Config& cfg) {
+  if (cfg.slots == 0 || cfg.service_secs <= 0.0) {
+    throw std::invalid_argument("CapacityEstimator: invalid node profile");
+  }
+  Result result;
+  double baseline = 0.0;
+  double rate = cfg.start_rate;
+  for (std::uint32_t p = 0; p < cfg.max_probes; ++p, rate *= cfg.rate_step) {
+    const double exec = probe_exec_time(cfg.slots, cfg.service_secs, rate,
+                                        cfg.samples_per_probe, cfg.seed + p);
+    result.curve.push_back(Probe{rate, exec});
+    if (p == 0) baseline = exec;
+    if (exec > cfg.knee_ratio * baseline) {
+      // "Significant increase in E_i": the node is saturating here.
+      result.knee_found = true;
+      result.knee_rate = rate;
+      result.knee_exec_secs = exec;
+      result.max_capacity = rate * exec;  // MC_i = k' x E'
+      return result;
+    }
+  }
+  // Rate cap reached without a knee: report the last probe as a lower bound.
+  const Probe& last = result.curve.back();
+  result.knee_rate = last.arrival_rate;
+  result.knee_exec_secs = last.exec_secs;
+  result.max_capacity = last.arrival_rate * last.exec_secs;
+  return result;
+}
+
+}  // namespace lifl::ctrl

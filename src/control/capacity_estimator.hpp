@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace lifl::ctrl {
+
+/// Offline estimator of a worker node's maximum service capacity MC_i
+/// (Appendix E).
+///
+/// The paper's procedure: "We incrementally increase the arrival rate k_i
+/// to node i. Let k'_i and E'_i denote the arrival rate and average
+/// execution time at the point we observe a significant increase in E_i.
+/// This indicates that node i is becoming overloaded and we estimate MC_i
+/// as k'_i x E'_i."
+///
+/// The estimator reproduces that experiment against a simulated node: it
+/// drives Poisson arrivals of aggregation jobs into the node's aggregation
+/// slots at increasing rates, measures the average per-update completion
+/// time (service + queueing — what the eBPF sidecar of §4.3 would report),
+/// and stops at the knee.
+class CapacityEstimator {
+ public:
+  struct Config {
+    /// Parallel aggregation slots of the node (cores available to
+    /// aggregator runtimes).
+    std::uint32_t slots = 8;
+    /// Uncontended per-update execution time (Recv + Agg), seconds.
+    double service_secs = 0.5;
+    /// First probed arrival rate (updates/sec).
+    double start_rate = 0.5;
+    /// Multiplicative rate increment per probe. Fine-grained so the knee is
+    /// caught near saturation onset rather than deep into overload.
+    double rate_step = 1.15;
+    /// Knee detector: stop when E exceeds this multiple of the baseline.
+    double knee_ratio = 1.25;
+    /// Samples collected per probe.
+    std::uint32_t samples_per_probe = 600;
+    /// Safety cap on probes.
+    std::uint32_t max_probes = 64;
+    std::uint64_t seed = 1;
+  };
+
+  struct Probe {
+    double arrival_rate = 0.0;  ///< k probed (updates/sec)
+    double exec_secs = 0.0;     ///< measured average E at this rate
+  };
+
+  struct Result {
+    double max_capacity = 0.0;  ///< MC_i = k' x E'
+    double knee_rate = 0.0;     ///< k'
+    double knee_exec_secs = 0.0;///< E'
+    bool knee_found = false;    ///< false: rate cap reached first
+    std::vector<Probe> curve;   ///< the measured E(k) curve
+  };
+
+  /// Run the Appendix-E experiment and return the capacity estimate.
+  static Result estimate(const Config& cfg);
+};
+
+}  // namespace lifl::ctrl

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <stdexcept>
+
+namespace lifl::ctrl {
+
+/// Exponentially weighted moving average, the smoother LIFL applies to
+/// per-node queue-length estimates before re-planning the hierarchy (§5.2):
+///     Q_t = alpha * Q_{t-1} + (1 - alpha) * q_t
+/// alpha = 0.7 in the paper ("yielding the best results in our
+/// experiments"); a larger alpha damps short-term spikes harder, preventing
+/// excess aggregator allocation.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    if (alpha < 0.0 || alpha > 1.0) {
+      throw std::invalid_argument("Ewma: alpha must be in [0, 1]");
+    }
+  }
+
+  /// Fold in an observation and return the new smoothed value. The first
+  /// observation initializes the average directly.
+  double observe(double sample) noexcept {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * value_ + (1.0 - alpha_) * sample;
+    }
+    return value_;
+  }
+
+  double value() const noexcept { return value_; }
+  bool initialized() const noexcept { return initialized_; }
+  double alpha() const noexcept { return alpha_; }
+
+  void reset() noexcept {
+    value_ = 0.0;
+    initialized_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace lifl::ctrl

@@ -1,0 +1,63 @@
+#include "src/control/hierarchy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lifl::ctrl {
+
+std::uint32_t HierarchyPlan::total_aggregators() const noexcept {
+  std::uint32_t n = 1;  // the top
+  for (const auto& p : per_node) {
+    n += p.leaves + (p.middle ? 1 : 0);
+  }
+  return n;
+}
+
+std::size_t HierarchyPlan::nodes_used() const noexcept {
+  std::unordered_set<sim::NodeId> used{top_node};
+  for (const auto& p : per_node) {
+    if (p.leaves > 0 || p.middle) used.insert(p.node);
+  }
+  return used.size();
+}
+
+std::uint32_t HierarchyPlan::top_fanin() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& p : per_node) {
+    // A node with a middle ships one intermediate update; a node whose only
+    // aggregator is a single leaf ships that leaf's output directly.
+    if (p.middle || p.leaves > 0) ++n;
+  }
+  return n;
+}
+
+HierarchyPlanner::HierarchyPlanner(std::uint32_t updates_per_leaf)
+    : updates_per_leaf_(updates_per_leaf) {
+  if (updates_per_leaf == 0) {
+    throw std::invalid_argument("HierarchyPlanner: updates_per_leaf == 0");
+  }
+}
+
+HierarchyPlan HierarchyPlanner::plan(
+    const std::vector<double>& pending_per_node, sim::NodeId top_node) const {
+  HierarchyPlan out;
+  out.top_node = top_node;
+  out.updates_per_leaf = updates_per_leaf_;
+  for (std::size_t i = 0; i < pending_per_node.size(); ++i) {
+    const double q = pending_per_node[i];
+    if (q <= 0) continue;
+    HierarchyPlan::NodePlan p;
+    p.node = static_cast<sim::NodeId>(i);
+    p.expected_updates = static_cast<std::uint32_t>(std::llround(std::ceil(q)));
+    p.leaves = static_cast<std::uint32_t>(
+        std::ceil(q / static_cast<double>(updates_per_leaf_)));
+    // A middle is worthwhile only when there are multiple leaves to fold;
+    // a lone leaf sends its aggregate straight to the top.
+    p.middle = p.leaves > 1;
+    out.per_node.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace lifl::ctrl

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/calibration.hpp"
+#include "src/sim/time.hpp"
+
+namespace lifl::ctrl {
+
+/// Planned aggregation hierarchy for one re-plan cycle (§5.2).
+///
+/// LIFL plans a two-level k-ary tree *within* each node — a "central" middle
+/// aggregator fed by ceil(Q_i / I) leaf aggregators — and a single top
+/// aggregator on a designated node that folds the per-node intermediate
+/// updates into the global model. Keeping all leaf→middle traffic on-node
+/// means each active node ships exactly one intermediate update across the
+/// network per cycle.
+struct HierarchyPlan {
+  struct NodePlan {
+    sim::NodeId node = 0;
+    std::uint32_t expected_updates = 0;  ///< Q_i this plan was sized for
+    std::uint32_t leaves = 0;            ///< parallel leaf aggregators
+    bool middle = false;                 ///< node-local middle aggregator
+  };
+
+  std::vector<NodePlan> per_node;   ///< only nodes with work appear
+  sim::NodeId top_node = 0;         ///< hosts the top aggregator
+  std::uint32_t updates_per_leaf =
+      sim::calib::kUpdatesPerLeaf;  ///< I of §5.2
+
+  /// Aggregators this plan instantiates (leaves + middles + one top).
+  std::uint32_t total_aggregators() const noexcept;
+
+  /// Nodes with at least one aggregator (including the top node).
+  std::size_t nodes_used() const noexcept;
+
+  /// Number of intermediate updates the top aggregator must fold.
+  std::uint32_t top_fanin() const noexcept;
+};
+
+/// The hierarchy-aware planner of LIFL's autoscaler (§5.2): sizes each
+/// node's aggregation tree to the (smoothed) pending-update estimate so
+/// every level runs at maximal parallelism, minimizing per-level completion
+/// time and hence the aggregation completion time.
+class HierarchyPlanner {
+ public:
+  explicit HierarchyPlanner(
+      std::uint32_t updates_per_leaf = sim::calib::kUpdatesPerLeaf);
+
+  /// Plan for `pending_per_node[i]` expected updates on node i; nodes with
+  /// zero pending get no aggregators. The top aggregator lands on
+  /// `top_node` regardless of its pending count.
+  HierarchyPlan plan(const std::vector<double>& pending_per_node,
+                     sim::NodeId top_node) const;
+
+  std::uint32_t updates_per_leaf() const noexcept { return updates_per_leaf_; }
+
+ private:
+  std::uint32_t updates_per_leaf_;
+};
+
+}  // namespace lifl::ctrl

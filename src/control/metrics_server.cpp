@@ -1,0 +1,48 @@
+#include "src/control/metrics_server.hpp"
+
+#include <stdexcept>
+
+namespace lifl::ctrl {
+
+MetricsServer::MetricsServer(std::size_t node_count, double ewma_alpha) {
+  per_node_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    per_node_.emplace_back(ewma_alpha);
+  }
+}
+
+void MetricsServer::report(sim::NodeId node, double arrivals,
+                           double window_secs, double exec_sum,
+                           double exec_count) {
+  if (window_secs <= 0) {
+    throw std::invalid_argument("MetricsServer::report: window_secs <= 0");
+  }
+  NodeState& s = per_node_.at(node);
+  const double rate = arrivals / window_secs;
+  s.rate.observe(rate);
+  s.exec_total += exec_sum;
+  s.exec_count += exec_count;
+  // Q = k * E with the freshly smoothed rate.
+  const double e =
+      s.exec_count > 0 ? s.exec_total / s.exec_count : 0.0;
+  s.queue.observe(s.rate.value() * e);
+}
+
+double MetricsServer::arrival_rate(sim::NodeId node) const {
+  return per_node_.at(node).rate.value();
+}
+
+double MetricsServer::exec_time(sim::NodeId node, double default_exec) const {
+  const NodeState& s = per_node_.at(node);
+  return s.exec_count > 0 ? s.exec_total / s.exec_count : default_exec;
+}
+
+double MetricsServer::queue_estimate(sim::NodeId node) const {
+  return per_node_.at(node).queue.value();
+}
+
+void MetricsServer::observe_queue(sim::NodeId node, double queue_len) {
+  per_node_.at(node).queue.observe(queue_len);
+}
+
+}  // namespace lifl::ctrl

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "src/control/ewma.hpp"
+#include "src/sim/calibration.hpp"
+#include "src/sim/time.hpp"
+
+namespace lifl::ctrl {
+
+/// Cluster-wide metrics server (Fig. 3): aggregates the per-node samples
+/// that LIFL agents drain from their eBPF metrics maps, and exposes the
+/// smoothed signals the autoscaler and placement engine consume —
+/// arrival rate k_{i,t}, mean execution time E_{i,t}, and the EWMA-smoothed
+/// queue estimate Q_{i,t} = k_{i,t} · E_{i,t} (§5.1-§5.2).
+class MetricsServer {
+ public:
+  explicit MetricsServer(std::size_t node_count,
+                         double ewma_alpha = sim::calib::kEwmaAlpha);
+
+  /// One agent poll window for `node`: `arrivals` updates arrived during
+  /// `window_secs`; the sidecar observed `exec_sum` seconds over
+  /// `exec_count` aggregation executions.
+  void report(sim::NodeId node, double arrivals, double window_secs,
+              double exec_sum, double exec_count);
+
+  /// Smoothed arrival rate k_{i,t} (updates/sec).
+  double arrival_rate(sim::NodeId node) const;
+
+  /// Mean per-update aggregation execution time E_{i,t} (secs); falls back
+  /// to `default_exec` until a node has observed executions.
+  double exec_time(sim::NodeId node, double default_exec = 1.0) const;
+
+  /// EWMA-smoothed queue-length estimate Q_{i,t}.
+  double queue_estimate(sim::NodeId node) const;
+
+  /// Directly observe a queue-length sample (used when the caller knows the
+  /// actual queue, as in the Fig. 8 experiments).
+  void observe_queue(sim::NodeId node, double queue_len);
+
+  std::size_t node_count() const noexcept { return per_node_.size(); }
+
+ private:
+  struct NodeState {
+    Ewma rate;
+    Ewma queue;
+    double exec_total = 0.0;
+    double exec_count = 0.0;
+    explicit NodeState(double alpha) : rate(alpha), queue(alpha) {}
+  };
+
+  std::vector<NodeState> per_node_;
+};
+
+}  // namespace lifl::ctrl

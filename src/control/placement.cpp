@@ -1,0 +1,93 @@
+#include "src/control/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lifl::ctrl {
+
+std::string to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kBestFit: return "best_fit";
+    case PlacementPolicy::kFirstFit: return "first_fit";
+    case PlacementPolicy::kWorstFit: return "worst_fit";
+  }
+  return "unknown";
+}
+
+PlacementResult PlacementEngine::place(const std::vector<double>& demands,
+                                       std::vector<NodeCapacity> nodes) const {
+  if (nodes.empty()) {
+    throw std::invalid_argument("PlacementEngine::place: no nodes");
+  }
+  PlacementResult result;
+  result.assignment.reserve(demands.size());
+  // Track running residuals; nodes keep input order for FirstFit stability.
+  std::vector<double> residual(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    residual[i] = nodes[i].residual();
+  }
+
+  std::unordered_set<sim::NodeId> used;
+  for (const double d : demands) {
+    std::size_t chosen = nodes.size();
+    switch (policy_) {
+      case PlacementPolicy::kBestFit: {
+        // Tightest fit: the fitting node whose residual is smallest.
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          if (residual[i] >= d && residual[i] < best) {
+            best = residual[i];
+            chosen = i;
+          }
+        }
+        break;
+      }
+      case PlacementPolicy::kFirstFit: {
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          if (residual[i] >= d) {
+            chosen = i;
+            break;
+          }
+        }
+        break;
+      }
+      case PlacementPolicy::kWorstFit: {
+        // Most residual capacity ("least connection" spreading).
+        double best = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          if (residual[i] >= d && residual[i] > best) {
+            best = residual[i];
+            chosen = i;
+          }
+        }
+        break;
+      }
+    }
+    if (chosen == nodes.size()) {
+      // Nothing fits: overload the node with the most residual capacity.
+      chosen = static_cast<std::size_t>(
+          std::max_element(residual.begin(), residual.end()) -
+          residual.begin());
+      ++result.overflow;
+    }
+    residual[chosen] -= d;
+    used.insert(nodes[chosen].node);
+    result.assignment.push_back(nodes[chosen].node);
+  }
+
+  result.load_after.resize(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    result.load_after[i] = nodes[i].residual() - residual[i] + nodes[i].load();
+  }
+  result.nodes_used = used.size();
+  return result;
+}
+
+PlacementResult PlacementEngine::place_units(
+    std::size_t count, std::vector<NodeCapacity> nodes) const {
+  return place(std::vector<double>(count, 1.0), std::move(nodes));
+}
+
+}  // namespace lifl::ctrl

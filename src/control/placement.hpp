@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace lifl::ctrl {
+
+/// Load-balancing / bin-packing policy for mapping model updates (clients)
+/// to worker nodes (§5.1).
+enum class PlacementPolicy : std::uint8_t {
+  kBestFit,   ///< LIFL: tightest fit — concentrates load on fewest nodes
+  kFirstFit,  ///< search-complexity baseline, not locality-aware
+  kWorstFit,  ///< most residual capacity — Knative "least connection" spread
+};
+
+std::string to_string(PlacementPolicy p);
+
+/// Capacity view of one worker node used by the placement engine.
+///
+/// `residual()` implements §5.1: RC_{i,t} = MC_i − k_{i,t} · E_{i,t}, the
+/// maximum service capacity minus the load implied by the current arrival
+/// rate and per-update execution time.
+struct NodeCapacity {
+  sim::NodeId node = 0;
+  double max_capacity = 0.0;   ///< MC_i (updates aggregatable simultaneously)
+  double arrival_rate = 0.0;   ///< k_{i,t} (updates/sec directed at the node)
+  double exec_time = 0.0;      ///< E_{i,t} (secs to aggregate one update)
+
+  double load() const noexcept { return arrival_rate * exec_time; }
+  double residual() const noexcept { return max_capacity - load(); }
+};
+
+/// Result of placing a batch of unit demands.
+struct PlacementResult {
+  std::vector<sim::NodeId> assignment;  ///< node per demand, in input order
+  std::vector<double> load_after;       ///< final load per input node
+  std::size_t nodes_used = 0;           ///< distinct nodes receiving demand
+  std::size_t overflow = 0;             ///< demands placed beyond capacity
+};
+
+/// The placement engine (§5.1): treats load balancing as bin-packing of
+/// model-update demands into worker nodes under residual-capacity
+/// constraints.
+///
+/// BestFit concentrates demand onto the fewest nodes — maximizing shm reuse
+/// and minimizing inter-node transfers, since a pair of nodes exchanges at
+/// most one intermediate update per round. WorstFit reproduces Knative's
+/// least-connection spreading; FirstFit minimizes search cost only.
+class PlacementEngine {
+ public:
+  explicit PlacementEngine(PlacementPolicy policy) : policy_(policy) {}
+
+  PlacementPolicy policy() const noexcept { return policy_; }
+
+  /// Place `demands` (service-demand units, typically 1.0 per model update)
+  /// onto `nodes`. Demands that fit nowhere go to the node with the most
+  /// residual capacity and are counted in `overflow`.
+  PlacementResult place(const std::vector<double>& demands,
+                        std::vector<NodeCapacity> nodes) const;
+
+  /// Convenience: place `count` unit demands.
+  PlacementResult place_units(std::size_t count,
+                              std::vector<NodeCapacity> nodes) const;
+
+ private:
+  PlacementPolicy policy_;
+};
+
+}  // namespace lifl::ctrl

@@ -1,0 +1,64 @@
+#include "src/control/selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lifl::ctrl {
+
+Selector::Cohort Selector::select(const wl::ClientPopulation& population,
+                                  std::uint32_t goal, sim::Rng& rng) const {
+  Cohort cohort;
+  cohort.goal = goal;
+  const auto want = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(goal) * (1.0 + cfg_.overprovision)));
+  cohort.members = population.sample(std::min(want, population.size()), rng);
+  return cohort;
+}
+
+void Selector::track(fl::ParticipantId client,
+                     std::function<void()> on_failure) {
+  Tracked t;
+  t.last_heartbeat = sim_.now();
+  t.on_failure = std::move(on_failure);
+  t.alive = std::make_shared<bool>(true);
+  arm_check(client, t.alive);
+  tracked_[client] = std::move(t);
+}
+
+void Selector::arm_check(fl::ParticipantId client,
+                         std::shared_ptr<bool> alive) {
+  sim_.schedule_after(cfg_.heartbeat_timeout_secs,
+                      [this, client, alive = std::move(alive)]() {
+    if (!*alive) return;
+    auto it = tracked_.find(client);
+    if (it == tracked_.end()) return;
+    const double silent_for = sim_.now() - it->second.last_heartbeat;
+    if (silent_for + 1e-9 >= cfg_.heartbeat_timeout_secs) {
+      // Heartbeats lapsed: declare the client failed and notify (the
+      // coordinator substitutes a spare from the over-provisioned cohort).
+      ++failures_;
+      auto on_failure = std::move(it->second.on_failure);
+      *it->second.alive = false;
+      tracked_.erase(it);
+      if (on_failure) on_failure();
+      return;
+    }
+    // Heard from it recently; re-arm relative to the last heartbeat.
+    arm_check(client, it->second.alive);
+  });
+}
+
+void Selector::heartbeat(fl::ParticipantId client) {
+  auto it = tracked_.find(client);
+  if (it == tracked_.end()) return;
+  it->second.last_heartbeat = sim_.now();
+}
+
+void Selector::report_done(fl::ParticipantId client) {
+  auto it = tracked_.find(client);
+  if (it == tracked_.end()) return;
+  *it->second.alive = false;
+  tracked_.erase(it);
+}
+
+}  // namespace lifl::ctrl

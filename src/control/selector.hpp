@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fl/model_update.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/workload/population.hpp"
+
+namespace lifl::ctrl {
+
+/// The selector of Fig. 2 (Bonawitz et al.): per round it (1) draws a
+/// diverse cohort of clients from the available population, over-
+/// provisioned so stragglers and failures do not stall the round (§3), and
+/// (2) acts as the gateway-side mediator that tracks each selected client's
+/// keep-alive heartbeats, replacing clients whose heartbeats lapse.
+class Selector {
+ public:
+  struct Config {
+    /// Extra clients selected beyond the aggregation goal, as a fraction
+    /// (0.3 => select 130% of the goal; Bonawitz et al. report 130%).
+    double overprovision = 0.3;
+    /// A client is declared failed after this many seconds without a
+    /// heartbeat.
+    double heartbeat_timeout_secs = 5.0;
+    /// Heartbeat period clients are expected to honor.
+    double heartbeat_period_secs = 1.0;
+  };
+
+  struct Cohort {
+    std::vector<std::size_t> members;  ///< indices into the population
+    std::uint32_t goal = 0;            ///< updates the round actually needs
+  };
+
+  Selector(sim::Simulator& sim, Config cfg) : sim_(sim), cfg_(cfg) {}
+
+  /// Draw a cohort for a round with aggregation goal `goal`: goal x
+  /// (1 + overprovision) distinct clients (bounded by the population).
+  Cohort select(const wl::ClientPopulation& population, std::uint32_t goal,
+                sim::Rng& rng) const;
+
+  // ---------------------------------------------------------- heartbeats
+  /// Start tracking a selected client. `on_failure` fires (once) if its
+  /// heartbeats lapse before `report_done` is called.
+  void track(fl::ParticipantId client, std::function<void()> on_failure);
+
+  /// Record a heartbeat from a tracked client.
+  void heartbeat(fl::ParticipantId client);
+
+  /// The client delivered its update (or was deselected): stop tracking.
+  void report_done(fl::ParticipantId client);
+
+  /// Clients currently tracked.
+  std::size_t tracked() const noexcept { return tracked_.size(); }
+  /// Failures detected so far.
+  std::uint32_t failures_detected() const noexcept { return failures_; }
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  struct Tracked {
+    double last_heartbeat = 0.0;
+    std::function<void()> on_failure;
+    std::shared_ptr<bool> alive;
+  };
+
+  void arm_check(fl::ParticipantId client, std::shared_ptr<bool> alive);
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  std::unordered_map<fl::ParticipantId, Tracked> tracked_;
+  std::uint32_t failures_ = 0;
+};
+
+}  // namespace lifl::ctrl

@@ -1,0 +1,115 @@
+#include "src/control/tag.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace lifl::ctrl {
+
+bool Tag::add_vertex(Vertex v) {
+  return vertices_.emplace(v.id, v).second;
+}
+
+void Tag::add_channel(Channel c) {
+  if (vertices_.count(c.from) == 0 || vertices_.count(c.to) == 0) {
+    throw std::invalid_argument("Tag::add_channel: unknown endpoint");
+  }
+  channels_.push_back(std::move(c));
+}
+
+const Tag::Vertex* Tag::find(fl::ParticipantId id) const {
+  auto it = vertices_.find(id);
+  return it == vertices_.end() ? nullptr : &it->second;
+}
+
+Tag::Vertex* Tag::find(fl::ParticipantId id) {
+  auto it = vertices_.find(id);
+  return it == vertices_.end() ? nullptr : &it->second;
+}
+
+std::vector<fl::ParticipantId> Tag::consumers_of(fl::ParticipantId id) const {
+  std::vector<fl::ParticipantId> out;
+  for (const auto& c : channels_) {
+    if (c.from == id) out.push_back(c.to);
+  }
+  return out;
+}
+
+std::vector<fl::ParticipantId> Tag::group_members(
+    const std::string& label) const {
+  std::unordered_set<fl::ParticipantId> set;
+  for (const auto& c : channels_) {
+    if (c.group_by == label) {
+      set.insert(c.from);
+      set.insert(c.to);
+    }
+  }
+  return {set.begin(), set.end()};
+}
+
+bool Tag::validate() const {
+  // Exactly one aggregator sink.
+  if (!root().has_value()) return false;
+
+  // Acyclicity via Kahn's algorithm over all vertices.
+  std::unordered_map<fl::ParticipantId, std::size_t> indeg;
+  for (const auto& [id, v] : vertices_) indeg[id] = 0;
+  for (const auto& c : channels_) indeg[c.to] += 1;
+  std::deque<fl::ParticipantId> q;
+  for (const auto& [id, d] : indeg) {
+    if (d == 0) q.push_back(id);
+  }
+  std::size_t seen = 0;
+  while (!q.empty()) {
+    const auto id = q.front();
+    q.pop_front();
+    ++seen;
+    for (const auto& c : channels_) {
+      if (c.from == id && --indeg[c.to] == 0) q.push_back(c.to);
+    }
+  }
+  if (seen != vertices_.size()) return false;  // cycle
+
+  // Every vertex with a channel must reach the root (weak connectivity of
+  // producers): walk consumers transitively.
+  const auto sink = *root();
+  for (const auto& [id, v] : vertices_) {
+    if (id == sink) continue;
+    // BFS along channels from id.
+    std::unordered_set<fl::ParticipantId> visited{id};
+    std::deque<fl::ParticipantId> bfs{id};
+    bool reached = false;
+    while (!bfs.empty() && !reached) {
+      const auto cur = bfs.front();
+      bfs.pop_front();
+      for (const auto& c : channels_) {
+        if (c.from != cur || visited.count(c.to)) continue;
+        if (c.to == sink) {
+          reached = true;
+          break;
+        }
+        visited.insert(c.to);
+        bfs.push_back(c.to);
+      }
+    }
+    if (!reached) return false;
+  }
+  return true;
+}
+
+std::optional<fl::ParticipantId> Tag::root() const {
+  std::optional<fl::ParticipantId> sink;
+  for (const auto& [id, v] : vertices_) {
+    if (v.role != TagRole::kAggregator) continue;
+    const bool has_outgoing = std::any_of(
+        channels_.begin(), channels_.end(),
+        [id = id](const Channel& c) { return c.from == id; });
+    if (!has_outgoing) {
+      if (sink.has_value()) return std::nullopt;  // multiple sinks
+      sink = id;
+    }
+  }
+  return sink;
+}
+
+}  // namespace lifl::ctrl

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fl/model_update.hpp"
+#include "src/sim/time.hpp"
+
+namespace lifl::ctrl {
+
+/// Role metadata of a TAG vertex (Appendix D).
+enum class TagRole : std::uint8_t { kClient, kAggregator };
+
+/// Communication mechanism of a TAG channel (Appendix D).
+enum class ChannelKind : std::uint8_t {
+  kIntraNodeShm,       ///< same-node shared memory
+  kInterNodeKernel,    ///< cross-node kernel networking via gateways
+};
+
+/// Topology Abstraction Graph (Appendix D, borrowed from Flame): describes
+/// aggregator-to-aggregator and aggregator-client connectivity, with a
+/// `group_by` label per channel that expresses placement affinity — vertices
+/// sharing a label should land on the same node, which is how the
+/// coordinator requests locality-aware placement.
+class Tag {
+ public:
+  struct Vertex {
+    fl::ParticipantId id = 0;
+    TagRole role = TagRole::kAggregator;
+    std::optional<sim::NodeId> placement;  ///< resolved by the placement engine
+  };
+
+  struct Channel {
+    fl::ParticipantId from = 0;  ///< producer
+    fl::ParticipantId to = 0;    ///< consumer
+    ChannelKind kind = ChannelKind::kIntraNodeShm;
+    std::string group_by;        ///< affinity label; empty = unconstrained
+  };
+
+  /// Add a vertex; returns false if the id already exists.
+  bool add_vertex(Vertex v);
+
+  /// Add a directed channel; both endpoints must exist.
+  void add_channel(Channel c);
+
+  const Vertex* find(fl::ParticipantId id) const;
+  Vertex* find(fl::ParticipantId id);
+
+  const std::vector<Channel>& channels() const noexcept { return channels_; }
+  std::size_t vertex_count() const noexcept { return vertices_.size(); }
+
+  /// Consumers that `id` produces to.
+  std::vector<fl::ParticipantId> consumers_of(fl::ParticipantId id) const;
+
+  /// Vertices sharing a group label.
+  std::vector<fl::ParticipantId> group_members(const std::string& label) const;
+
+  /// A valid aggregation DAG: acyclic with exactly one sink (the top
+  /// aggregator) among aggregator vertices, and every producer reaches it.
+  bool validate() const;
+
+  /// The unique sink if `validate()` holds.
+  std::optional<fl::ParticipantId> root() const;
+
+ private:
+  std::unordered_map<fl::ParticipantId, Vertex> vertices_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace lifl::ctrl

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace lifl::dp {
+
+/// Message broker bookkeeping (the stateful, always-on component of the
+/// baseline serverless plane, Fig. 2(b)/Fig. 5).
+///
+/// The broker's processing *cost* is modeled as pipeline steps by the data
+/// plane; this class tracks what the paper's Appendix F measures about it:
+/// how many bytes it buffers (brokers hold whole payloads, unlike LIFL's
+/// in-place keys) and its always-on footprint.
+class Broker {
+ public:
+  /// A payload entered the broker's queue.
+  void buffer(std::size_t bytes) noexcept {
+    bytes_buffered_ += bytes;
+    peak_bytes_ = std::max(peak_bytes_, bytes_buffered_);
+    total_bytes_ += bytes;
+    ++messages_;
+  }
+
+  /// A payload left the broker's queue.
+  void unbuffer(std::size_t bytes) noexcept {
+    bytes_buffered_ -= std::min(bytes_buffered_, bytes);
+  }
+
+  std::size_t bytes_buffered() const noexcept { return bytes_buffered_; }
+  std::size_t peak_bytes() const noexcept { return peak_bytes_; }
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  std::uint64_t messages() const noexcept { return messages_; }
+
+ private:
+  std::size_t bytes_buffered_ = 0;
+  std::size_t peak_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace lifl::dp

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/time.hpp"
+
+namespace lifl::dp {
+
+/// Which data-plane architecture moves model updates (Fig. 5).
+enum class PlaneKind : std::uint8_t {
+  kLifl,        ///< shared-memory object store + SKMSG key passing + gateway
+  kServerful,   ///< direct gRPC-style kernel channels (SF)
+  kServerless,  ///< container sidecar + message broker indirection (SL)
+};
+
+/// Which sidecar mediates aggregator traffic.
+enum class SidecarKind : std::uint8_t {
+  kNone,       ///< serverful monolith: no sidecar
+  kContainer,  ///< container-based sidecar: per-byte interception + idle draw
+  kEbpf,       ///< LIFL: eBPF/SKMSG, event-driven, zero idle cost
+};
+
+/// Data-plane configuration; systems (SF/SL/LIFL) are points in this space.
+struct DataPlaneConfig {
+  PlaneKind plane = PlaneKind::kLifl;
+  SidecarKind sidecar = SidecarKind::kEbpf;
+  /// Route traffic through a message broker (always true for the serverless
+  /// baseline; true on a serverful plane gives the SF-micro setup of Fig. 5).
+  bool use_broker = false;
+  /// Carry real tensors through the store (small models) or logical bytes.
+  bool real_payloads = false;
+  /// Node hosting the message broker. Fig. 2(b) shows a *single* stateful
+  /// broker service in the cluster datapath: every brokered message transits
+  /// this node, so the broker's processing capacity — not the aggregators' —
+  /// can bound the aggregation service (§2.3 "inefficient message queuing").
+  sim::NodeId broker_node = 0;
+  /// Broker worker threads. Unlike LIFL's gateway (§4.2), the broker is not
+  /// vertically scaled with load.
+  std::uint32_t broker_cores = 2;
+};
+
+/// Shorthand constructors for the architectures under study (Fig. 5).
+inline DataPlaneConfig lifl_plane(bool real_payloads = false) {
+  return {PlaneKind::kLifl, SidecarKind::kEbpf, false, real_payloads};
+}
+inline DataPlaneConfig serverful_plane(bool real_payloads = false) {
+  return {PlaneKind::kServerful, SidecarKind::kNone, false, real_payloads};
+}
+inline DataPlaneConfig serverful_micro_plane(bool real_payloads = false) {
+  return {PlaneKind::kServerful, SidecarKind::kNone, true, real_payloads};
+}
+inline DataPlaneConfig serverless_plane(bool real_payloads = false) {
+  DataPlaneConfig c{PlaneKind::kServerless, SidecarKind::kContainer, true,
+                    real_payloads};
+  // The baseline's broker is a single stateful service process; its
+  // (per-message ordered) delivery loop is what queues under bursts.
+  c.broker_cores = 1;
+  return c;
+}
+
+}  // namespace lifl::dp

@@ -1,0 +1,60 @@
+#include "src/dataplane/cost.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace lifl::dp {
+
+CostStep cpu_step(StepResource where, const sim::Node& node, double cycles,
+                  sim::CostTag tag) {
+  CostStep s;
+  s.where = where;
+  s.node = node.id();
+  s.seconds = cycles / node.config().cpu_hz;
+  s.tag = tag;
+  s.cycles = cycles;
+  return s;
+}
+
+void StepRunner::run(std::vector<CostStep> steps, std::function<void()> done) {
+  auto steps_ptr = std::make_shared<std::vector<CostStep>>(std::move(steps));
+  auto done_ptr = std::make_shared<std::function<void()>>(std::move(done));
+  run_from(std::move(steps_ptr), 0, std::move(done_ptr));
+}
+
+void StepRunner::run_from(std::shared_ptr<std::vector<CostStep>> steps,
+                          std::size_t i,
+                          std::shared_ptr<std::function<void()>> done) {
+  if (i >= steps->size()) {
+    if (*done) (*done)();
+    return;
+  }
+  const CostStep& s = (*steps)[i];
+  sim::Node& node = cluster_.node(s.node);
+  auto next = [this, steps, i, done, &node, tag = s.tag, cycles = s.cycles]() {
+    if (cycles > 0) node.cpu().add(tag, cycles);
+    run_from(steps, i + 1, done);
+  };
+  switch (s.where) {
+    case StepResource::kCores:
+      node.cores().acquire(s.seconds, std::move(next));
+      break;
+    case StepResource::kKernelNet:
+      node.kernel_net().acquire(s.seconds, std::move(next));
+      break;
+    case StepResource::kNic:
+      node.nic().acquire(s.seconds, std::move(next));
+      break;
+    case StepResource::kGateway:
+      gateways_(s.node).acquire(s.seconds, std::move(next));
+      break;
+    case StepResource::kBroker:
+      broker_().acquire(s.seconds, std::move(next));
+      break;
+    case StepResource::kLatency:
+      cluster_.sim().schedule_after(s.seconds, std::move(next));
+      break;
+  }
+}
+
+}  // namespace lifl::dp

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/sim/cpu_accounting.hpp"
+#include "src/sim/node.hpp"
+#include "src/sim/resource.hpp"
+
+namespace lifl::dp {
+
+/// Which contended resource a cost step executes on.
+enum class StepResource : std::uint8_t {
+  kCores,      ///< the node's general core pool (userspace work)
+  kKernelNet,  ///< the node's kernel network-processing budget
+  kNic,        ///< the node's NIC wire
+  kGateway,    ///< the node's gateway cores (vertically scaled)
+  kBroker,     ///< the cluster's message-broker service threads
+  kLatency,    ///< pure delay, no resource (e.g. client uplink wire time)
+};
+
+/// One step of a data-plane pipeline: a service time on a resource plus the
+/// CPU cycles it bills. Transfers are sequences of steps executed
+/// store-and-forward, so queueing/contention at any hop shows up end to end
+/// (this is what reproduces Fig. 4).
+struct CostStep {
+  StepResource where = StepResource::kCores;
+  sim::NodeId node = 0;
+  double seconds = 0.0;  ///< service time on the resource
+  sim::CostTag tag = sim::CostTag::kKernelNet;
+  double cycles = 0.0;   ///< billed to the node's CPU ledger
+};
+
+/// Convenience: make a CPU-type step from cycles (service time = cycles/hz).
+CostStep cpu_step(StepResource where, const sim::Node& node, double cycles,
+                  sim::CostTag tag);
+
+/// Runs `steps` sequentially on the cluster's resources, then `done`.
+///
+/// The gateway and broker resources are external to `sim::Node`, so callers
+/// provide resolvers mapping StepResource::kGateway (per node) and
+/// StepResource::kBroker (cluster-wide) to the right Resource.
+class StepRunner {
+ public:
+  using GatewayResolver = std::function<sim::Resource&(sim::NodeId)>;
+  using BrokerResolver = std::function<sim::Resource&()>;
+
+  StepRunner(sim::Cluster& cluster, GatewayResolver gateways,
+             BrokerResolver broker)
+      : cluster_(cluster),
+        gateways_(std::move(gateways)),
+        broker_(std::move(broker)) {}
+
+  void run(std::vector<CostStep> steps, std::function<void()> done);
+
+ private:
+  void run_from(std::shared_ptr<std::vector<CostStep>> steps, std::size_t i,
+                std::shared_ptr<std::function<void()>> done);
+
+  sim::Cluster& cluster_;
+  GatewayResolver gateways_;
+  BrokerResolver broker_;
+};
+
+}  // namespace lifl::dp

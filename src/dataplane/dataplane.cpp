@@ -1,0 +1,509 @@
+#include "src/dataplane/dataplane.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/sim/calibration.hpp"
+
+namespace lifl::dp {
+
+namespace calib = sim::calib;
+using sim::CostTag;
+
+DataPlane::DataPlane(sim::Cluster& cluster, DataPlaneConfig cfg, sim::Rng rng)
+    : cluster_(cluster),
+      cfg_(cfg),
+      broker_svc_(cluster.sim(), "broker", cfg.broker_cores),
+      runner_(
+          cluster,
+          [this](sim::NodeId id) -> sim::Resource& { return env(id).gateway; },
+          [this]() -> sim::Resource& { return broker_svc_; }) {
+  envs_.reserve(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    envs_.push_back(std::make_unique<NodeEnv>(
+        cluster.sim(), static_cast<sim::NodeId>(i), rng.split(i),
+        /*gateway_cores=*/2));
+  }
+  if (cfg_.use_broker) {
+    // The broker is the single stateful, always-on component of the plane
+    // (Fig. 2(b)); it lives on — and draws idle CPU from — the broker node.
+    register_idle_draw(cfg_.broker_node, CostTag::kBroker,
+                       calib::kBrokerIdleCores);
+  }
+}
+
+void DataPlane::register_consumer(fl::ParticipantId id, sim::NodeId node,
+                                  Sockmap::DeliverFn deliver) {
+  consumers_[id] = node;
+  env(node).sockmap.update_elem(id, std::move(deliver));
+  for (std::size_t i = 0; i < envs_.size(); ++i) {
+    if (static_cast<sim::NodeId>(i) != node) {
+      envs_[i]->remote_routes.update_elem(id, node);
+    }
+  }
+}
+
+void DataPlane::unregister_consumer(fl::ParticipantId id) {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return;
+  env(it->second).sockmap.delete_elem(id);
+  for (auto& e : envs_) e->remote_routes.delete_elem(id);
+  consumers_.erase(it);
+}
+
+std::optional<sim::NodeId> DataPlane::node_of(fl::ParticipantId id) const {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return std::nullopt;
+  return it->second;
+}
+
+double DataPlane::recv_cycles(const fl::ModelUpdate& update) const noexcept {
+  const auto bytes = static_cast<double>(update.logical_bytes);
+  if (cfg_.plane == PlaneKind::kLifl) {
+    // Zero-copy: the consumer maps the shm object and walks it once.
+    return calib::kShmReadCyclesPerByte * bytes;
+  }
+  // Kernel planes: the (single-threaded) consumer deserializes the payload,
+  // and terminates the raw client stream if nothing did so upstream.
+  double cycles =
+      calib::kDeserializeCyclesPerByte * bytes + calib::kKernelFixedCycles;
+  if (update.from_client) {
+    cycles += calib::kClientStreamExtraCyclesPerByte * bytes;
+  }
+  return cycles;
+}
+
+void DataPlane::attach_shm_lease(sim::NodeId node, fl::ModelUpdate& update) {
+  auto& store = env(node).store;
+  shm::ObjectKey key;
+  if (cfg_.real_payloads && update.tensor) {
+    key = store.put<ml::Tensor>(update.tensor, update.logical_bytes);
+  } else {
+    key = store.put_logical(update.logical_bytes);
+  }
+  // RAII recycle: when the last copy of the update drops, the reference is
+  // released and the buffer returns to the store's pool. The lease may
+  // legally outlive the store (closures parked in simulator queues during
+  // teardown), so it releases through the store's liveness token.
+  update.lease = std::shared_ptr<const void>(
+      new shm::ObjectKey(key),
+      [token = store.liveness()](const shm::ObjectKey* k) {
+        if (const auto store_ptr = token.lock()) {
+          (*store_ptr)->release(*k);
+        }
+        delete k;
+      });
+}
+
+void DataPlane::append_broker_leg(std::vector<CostStep>& steps, sim::Node& src,
+                                  sim::Node& dst, std::size_t bytes,
+                                  double extra_broker_cycles_per_byte) {
+  const auto b = static_cast<double>(bytes);
+  sim::Node& broker = cluster_.node(cfg_.broker_node);
+  if (src.id() != broker.id()) {
+    CostStep wire;
+    wire.where = StepResource::kNic;
+    wire.node = src.id();
+    wire.seconds = b / src.config().nic_bytes_per_sec;
+    steps.push_back(wire);
+  }
+  steps.push_back(cpu_step(StepResource::kKernelNet, broker,
+                           calib::kKernelRxCyclesPerByte * b,
+                           CostTag::kKernelNet));
+  // Enqueue + dequeue processing on the broker's (fixed) worker threads:
+  // every brokered message in the cluster serializes through here.
+  steps.push_back(cpu_step(
+      StepResource::kBroker, broker,
+      (calib::kBrokerCyclesPerByte + extra_broker_cycles_per_byte) * b,
+      CostTag::kBroker));
+  steps.push_back(cpu_step(
+      StepResource::kKernelNet, broker,
+      calib::kKernelTxCyclesPerByte * b + calib::kKernelFixedCycles,
+      CostTag::kKernelNet));
+  if (broker.id() != dst.id()) {
+    CostStep wire;
+    wire.where = StepResource::kNic;
+    wire.node = broker.id();
+    wire.seconds = b / broker.config().nic_bytes_per_sec;
+    steps.push_back(wire);
+  }
+  steps.push_back(cpu_step(StepResource::kKernelNet, dst,
+                           calib::kKernelRxCyclesPerByte * b,
+                           CostTag::kKernelNet));
+}
+
+std::vector<CostStep> DataPlane::intra_node_steps(sim::Node& node,
+                                                  std::size_t bytes) {
+  const auto b = static_cast<double>(bytes);
+  std::vector<CostStep> steps;
+  switch (cfg_.plane) {
+    case PlaneKind::kLifl:
+      // Producer writes the update into the shm object store; the 16-byte
+      // key is then delivered via SKMSG + sockmap (event-driven sidecar).
+      steps.push_back(cpu_step(StepResource::kCores, node,
+                               calib::kShmWriteCyclesPerByte * b,
+                               CostTag::kSerialization));
+      steps.push_back(cpu_step(
+          StepResource::kKernelNet, node,
+          calib::kSkmsgNotifyCycles + calib::kEbpfSidecarEventCycles,
+          CostTag::kSidecarEbpf));
+      break;
+    case PlaneKind::kServerful:
+    case PlaneKind::kServerless:
+      steps.push_back(cpu_step(StepResource::kCores, node,
+                               calib::kSerializeCyclesPerByte * b,
+                               CostTag::kSerialization));
+      if (cfg_.sidecar == SidecarKind::kContainer) {
+        steps.push_back(cpu_step(StepResource::kCores, node,
+                                 calib::kContainerSidecarCyclesPerByte * b,
+                                 CostTag::kSidecarContainer));
+      }
+      steps.push_back(cpu_step(
+          StepResource::kKernelNet, node,
+          calib::kKernelTxCyclesPerByte * b + calib::kKernelFixedCycles,
+          CostTag::kKernelNet));
+      if (cfg_.use_broker) {
+        // Indirect networking (§2.3): even same-node functions exchange
+        // messages through the broker.
+        append_broker_leg(steps, node, node, bytes);
+      } else {
+        steps.push_back(cpu_step(StepResource::kKernelNet, node,
+                                 calib::kKernelRxCyclesPerByte * b,
+                                 CostTag::kKernelNet));
+      }
+      if (cfg_.sidecar == SidecarKind::kContainer) {
+        steps.push_back(cpu_step(StepResource::kCores, node,
+                                 calib::kContainerSidecarCyclesPerByte * b,
+                                 CostTag::kSidecarContainer));
+      }
+      break;
+  }
+  return steps;
+}
+
+std::vector<CostStep> DataPlane::inter_node_steps(sim::Node& src,
+                                                  sim::Node& dst,
+                                                  std::size_t bytes) {
+  const auto b = static_cast<double>(bytes);
+  std::vector<CostStep> steps;
+  const bool lifl = cfg_.plane == PlaneKind::kLifl;
+
+  if (lifl) {
+    // Source gateway: read the object out of shm, transform, serialize.
+    steps.push_back(cpu_step(StepResource::kGateway, src,
+                             (calib::kShmReadCyclesPerByte +
+                              calib::kGatewayTransformCyclesPerByte +
+                              calib::kSerializeCyclesPerByte) *
+                                 b,
+                             CostTag::kGateway));
+  } else {
+    steps.push_back(cpu_step(StepResource::kCores, src,
+                             calib::kSerializeCyclesPerByte * b,
+                             CostTag::kSerialization));
+    if (cfg_.sidecar == SidecarKind::kContainer) {
+      steps.push_back(cpu_step(StepResource::kCores, src,
+                               calib::kContainerSidecarCyclesPerByte * b,
+                               CostTag::kSidecarContainer));
+    }
+  }
+
+  // Kernel tx on the source.
+  steps.push_back(cpu_step(
+      StepResource::kKernelNet, src,
+      calib::kKernelTxCyclesPerByte * b + calib::kKernelFixedCycles,
+      CostTag::kKernelNet));
+
+  if (!lifl && cfg_.use_broker) {
+    // src -> broker -> dst indirection (Fig. 2(b)).
+    append_broker_leg(steps, src, dst, bytes);
+  } else {
+    // Direct: wire time on the source NIC, kernel rx at the destination.
+    CostStep wire;
+    wire.where = StepResource::kNic;
+    wire.node = src.id();
+    wire.seconds = b / src.config().nic_bytes_per_sec;
+    wire.cycles = 0.0;
+    steps.push_back(wire);
+    steps.push_back(cpu_step(StepResource::kKernelNet, dst,
+                             calib::kKernelRxCyclesPerByte * b,
+                             CostTag::kKernelNet));
+  }
+
+  if (lifl) {
+    // Destination gateway: deserialize, transform, write into shm; then the
+    // SKMSG notification reaches the destination aggregator.
+    steps.push_back(cpu_step(StepResource::kGateway, dst,
+                             (calib::kDeserializeCyclesPerByte +
+                              calib::kGatewayTransformCyclesPerByte +
+                              calib::kShmWriteCyclesPerByte) *
+                                 b,
+                             CostTag::kGateway));
+    steps.push_back(cpu_step(
+        StepResource::kKernelNet, dst,
+        calib::kSkmsgNotifyCycles + calib::kEbpfSidecarEventCycles,
+        CostTag::kSidecarEbpf));
+  } else if (cfg_.sidecar == SidecarKind::kContainer) {
+    steps.push_back(cpu_step(StepResource::kCores, dst,
+                             calib::kContainerSidecarCyclesPerByte * b,
+                             CostTag::kSidecarContainer));
+  }
+  return steps;
+}
+
+std::vector<CostStep> DataPlane::ingest_steps(sim::Node& node,
+                                              std::size_t bytes) {
+  const auto b = static_cast<double>(bytes);
+  std::vector<CostStep> steps;
+  switch (cfg_.plane) {
+    case PlaneKind::kLifl:
+      // Kernel receive path for the client's TCP stream, then one-time
+      // payload processing at the gateway (§4.2 / Appendix C): terminate
+      // the client stream, deserialize + convert, then write the NumpyArray
+      // into shm. Consumers only pay a cheap shm read after.
+      steps.push_back(cpu_step(
+          StepResource::kKernelNet, node,
+          calib::kKernelRxCyclesPerByte * b + calib::kKernelFixedCycles,
+          CostTag::kKernelNet));
+      steps.push_back(cpu_step(StepResource::kGateway, node,
+                               (calib::kClientStreamExtraCyclesPerByte +
+                                calib::kDeserializeCyclesPerByte +
+                                calib::kShmWriteCyclesPerByte) *
+                                   b,
+                               CostTag::kGateway));
+      break;
+    case PlaneKind::kServerful:
+    case PlaneKind::kServerless:
+      if (cfg_.use_broker) {
+        // The client publishes to the broker, which terminates the stream
+        // and buffers the payload (Fig. 2(b)). Delivery toward the consumer
+        // happens at consumption time (`consume`), the dequeue half of the
+        // broker's message-queue role.
+        sim::Node& broker = cluster_.node(cfg_.broker_node);
+        steps.push_back(cpu_step(
+            StepResource::kKernelNet, broker,
+            calib::kKernelRxCyclesPerByte * b + calib::kKernelFixedCycles,
+            CostTag::kKernelNet));
+        steps.push_back(cpu_step(StepResource::kBroker, broker,
+                                 (calib::kBrokerCyclesPerByte +
+                                  calib::kClientStreamExtraCyclesPerByte) *
+                                     b,
+                                 CostTag::kBroker));
+      } else {
+        steps.push_back(cpu_step(
+            StepResource::kKernelNet, node,
+            calib::kKernelRxCyclesPerByte * b + calib::kKernelFixedCycles,
+            CostTag::kKernelNet));
+        if (cfg_.sidecar == SidecarKind::kContainer) {
+          steps.push_back(cpu_step(StepResource::kCores, node,
+                                   calib::kContainerSidecarCyclesPerByte * b,
+                                   CostTag::kSidecarContainer));
+        }
+      }
+      break;
+  }
+  return steps;
+}
+
+void DataPlane::send(fl::ParticipantId src, sim::NodeId src_node,
+                     fl::ParticipantId dst, fl::ModelUpdate update,
+                     std::function<void()> on_delivered) {
+  auto it = consumers_.find(dst);
+  if (it == consumers_.end()) {
+    throw std::invalid_argument("DataPlane::send: unknown destination " +
+                                std::to_string(dst));
+  }
+  const sim::NodeId dst_node = it->second;
+  const std::size_t bytes = update.logical_bytes;
+  update.hops += 1;
+  update.producer = src;
+
+  sim::Node& snode = cluster_.node(src_node);
+  sim::Node& dnode = cluster_.node(dst_node);
+  NodeEnv& senv = env(src_node);
+
+  // Event-driven sidecar bookkeeping on send (§4.3).
+  if (cfg_.sidecar == SidecarKind::kEbpf) {
+    senv.metrics.increment(metric_keys::kSends);
+    senv.metrics.increment(metric_keys::kSendBytes,
+                           static_cast<double>(bytes));
+  }
+
+  std::vector<CostStep> steps;
+  if (src_node == dst_node) {
+    if (cfg_.plane == PlaneKind::kLifl) {
+      attach_shm_lease(src_node, update);
+      ++shm_deliveries_;
+    }
+    steps = intra_node_steps(snode, bytes);
+  } else {
+    inter_node_bytes_ += bytes;
+    if (cfg_.plane == PlaneKind::kLifl) {
+      // The payload is re-materialized in the destination node's store by
+      // the remote gateway (Appendix A).
+      attach_shm_lease(dst_node, update);
+    }
+    steps = inter_node_steps(snode, dnode, bytes);
+  }
+  if (cfg_.use_broker) {
+    env(cfg_.broker_node).broker.buffer(bytes);
+  }
+
+  runner_.run(std::move(steps),
+              [this, dst_node, dst, u = std::move(update), bytes,
+               done = std::move(on_delivered)]() mutable {
+                if (cfg_.use_broker) {
+                  env(cfg_.broker_node).broker.unbuffer(bytes);
+                }
+                deliver(dst_node, dst, std::move(u), std::move(done));
+              });
+}
+
+void DataPlane::deliver(sim::NodeId dst_node, fl::ParticipantId dst,
+                        fl::ModelUpdate update, std::function<void()> done) {
+  const Sockmap::DeliverFn* sock = env(dst_node).sockmap.lookup(dst);
+  if (sock == nullptr) {
+    // Destination disappeared mid-flight (scale-down / failure): the update
+    // falls back into the node pool so a successor can aggregate it.
+    env(dst_node).pool.push(std::move(update));
+    if (done) done();
+    return;
+  }
+  (*sock)(std::move(update));
+  if (done) done();
+}
+
+void DataPlane::client_upload(sim::NodeId dst_node, fl::ModelUpdate update,
+                              double uplink_bytes_per_sec,
+                              std::function<void()> on_enqueued) {
+  const std::size_t bytes = update.logical_bytes;
+  sim::Node& dnode = cluster_.node(dst_node);
+  // Gateways and brokers terminate the client stream; on a bare serverful
+  // plane the consuming aggregator pays that cost in its Recv step.
+  update.from_client =
+      cfg_.plane != PlaneKind::kLifl && !cfg_.use_broker;
+
+  std::vector<CostStep> steps;
+  // Wire time from the client to the cluster ingress (pure latency: the
+  // client's uplink is not a cluster resource).
+  CostStep wire;
+  wire.where = StepResource::kLatency;
+  wire.node = dst_node;
+  wire.seconds = static_cast<double>(bytes) / uplink_bytes_per_sec;
+  steps.push_back(wire);
+  auto ingest = ingest_steps(dnode, bytes);
+  steps.insert(steps.end(), ingest.begin(), ingest.end());
+
+  // A brokered upload rests in the broker's buffers until a consumer drains
+  // it (`consume` unbuffers); LIFL/serverful planes buffer nothing here.
+  if (cfg_.use_broker) env(cfg_.broker_node).broker.buffer(bytes);
+
+  runner_.run(std::move(steps), [this, dst_node,
+                                 u = std::move(update),
+                                 done = std::move(on_enqueued)]() mutable {
+    NodeEnv& e = env(dst_node);
+    if (cfg_.plane == PlaneKind::kLifl) {
+      attach_shm_lease(dst_node, u);
+      ++shm_deliveries_;
+    }
+    // Arrival-rate metric for the control plane (k_{i,t} of §5.1).
+    e.metrics.increment(metric_keys::kArrivals);
+    e.pool.push(std::move(u));
+    if (done) done();
+  });
+}
+
+void DataPlane::consume(sim::NodeId node, const fl::ModelUpdate& update,
+                        std::function<void()> ready) {
+  if (!cfg_.use_broker) {
+    // LIFL: the consumer receives the 16-byte key; the payload stays put in
+    // shm. SF monolith: the queue is the aggregator's own in-memory queue.
+    ready();
+    return;
+  }
+  const std::size_t bytes = update.logical_bytes;
+  const auto b = static_cast<double>(bytes);
+  sim::Node& broker = cluster_.node(cfg_.broker_node);
+  sim::Node& dst = cluster_.node(node);
+  env(cfg_.broker_node).broker.unbuffer(bytes);
+
+  std::vector<CostStep> steps;
+  // Dequeue processing on the broker's worker threads.
+  steps.push_back(cpu_step(StepResource::kBroker, broker,
+                           calib::kBrokerCyclesPerByte * b, CostTag::kBroker));
+  steps.push_back(cpu_step(
+      StepResource::kKernelNet, broker,
+      calib::kKernelTxCyclesPerByte * b + calib::kKernelFixedCycles,
+      CostTag::kKernelNet));
+  if (broker.id() != dst.id()) {
+    CostStep wire;
+    wire.where = StepResource::kNic;
+    wire.node = broker.id();
+    wire.seconds = b / broker.config().nic_bytes_per_sec;
+    steps.push_back(wire);
+  }
+  steps.push_back(cpu_step(StepResource::kKernelNet, dst,
+                           calib::kKernelRxCyclesPerByte * b,
+                           CostTag::kKernelNet));
+  if (cfg_.sidecar == SidecarKind::kContainer) {
+    steps.push_back(cpu_step(StepResource::kCores, dst,
+                             calib::kContainerSidecarCyclesPerByte * b,
+                             CostTag::kSidecarContainer));
+  }
+  runner_.run(std::move(steps), std::move(ready));
+}
+
+void DataPlane::seed_update(sim::NodeId node, fl::ModelUpdate update) {
+  update.from_client = false;  // ingest processing already happened
+  if (cfg_.plane == PlaneKind::kLifl) {
+    attach_shm_lease(node, update);
+    ++shm_deliveries_;
+  }
+  NodeEnv& e = env(node);
+  e.metrics.increment(metric_keys::kArrivals);
+  e.pool.push(std::move(update));
+}
+
+void DataPlane::record_agg_exec(sim::NodeId node, double exec_secs) {
+  NodeEnv& e = env(node);
+  e.metrics.increment(metric_keys::kAggExecSum, exec_secs);
+  e.metrics.increment(metric_keys::kAggExecCount);
+  if (cfg_.sidecar == SidecarKind::kEbpf) {
+    // The metric write itself is an eBPF event: tiny, billed to the sidecar.
+    cluster_.node(node).cpu().add(CostTag::kSidecarEbpf,
+                                  calib::kEbpfSidecarEventCycles);
+  }
+}
+
+IdleHandle DataPlane::register_idle_draw(sim::NodeId node, CostTag tag,
+                                         double cores) {
+  const IdleHandle h = next_idle_handle_++;
+  idle_draws_[h] = IdleDraw{node, tag, cores, cluster_.sim().now()};
+  return h;
+}
+
+void DataPlane::remove_idle_draw(IdleHandle h) {
+  auto it = idle_draws_.find(h);
+  if (it == idle_draws_.end()) return;
+  IdleDraw& d = it->second;
+  const double elapsed = cluster_.sim().now() - d.since;
+  cluster_.node(d.node).cpu().add(
+      d.tag, elapsed * d.cores * cluster_.node(d.node).config().cpu_hz);
+  idle_draws_.erase(it);
+}
+
+void DataPlane::settle_idle_costs() {
+  const sim::SimTime now = cluster_.sim().now();
+  for (auto& [h, d] : idle_draws_) {
+    const double elapsed = now - d.since;
+    if (elapsed <= 0) continue;
+    cluster_.node(d.node).cpu().add(
+        d.tag, elapsed * d.cores * cluster_.node(d.node).config().cpu_hz);
+    d.since = now;
+  }
+}
+
+void DataPlane::set_gateway_cores(sim::NodeId node, std::uint32_t cores) {
+  env(node).gateway.set_capacity(cores);
+}
+
+}  // namespace lifl::dp

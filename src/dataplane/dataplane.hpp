@@ -1,0 +1,184 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dataplane/broker.hpp"
+#include "src/dataplane/config.hpp"
+#include "src/dataplane/cost.hpp"
+#include "src/dataplane/metrics_map.hpp"
+#include "src/dataplane/routing.hpp"
+#include "src/dataplane/update_pool.hpp"
+#include "src/fl/model_update.hpp"
+#include "src/shm/object_store.hpp"
+#include "src/sim/node.hpp"
+#include "src/sim/random.hpp"
+
+namespace lifl::dp {
+
+/// Handle for a registered always-on idle CPU draw.
+using IdleHandle = std::uint64_t;
+
+/// The cluster data plane: moves model updates between clients, gateways and
+/// aggregators, with costs determined by the configured architecture.
+///
+/// One instance models one of the planes of Fig. 5 end to end:
+///  - **LIFL**: gateway performs one-time payload processing into the
+///    per-node shm object store; intra-node hand-off passes 16-byte object
+///    keys via the eBPF/SKMSG sidecar and sockmap; inter-node transfers go
+///    gateway-to-gateway (Appendix A); the eBPF sidecar writes metrics at
+///    event time and costs nothing when idle.
+///  - **Serverful**: direct gRPC-style kernel channels (serialize / kernel
+///    tx / kernel rx, consumer deserializes).
+///  - **Serverless**: every hop additionally traverses the container sidecar
+///    and a message broker that buffers whole payloads; broker and sidecar
+///    are always-on and draw idle CPU.
+///
+/// Transfers are sequences of `CostStep`s executed on the owning node's
+/// resources, so kernel-stack contention (Fig. 4), gateway saturation and
+/// NIC serialization all emerge from queueing rather than being scripted.
+class DataPlane {
+ public:
+  /// Everything the plane keeps per worker node.
+  struct NodeEnv {
+    NodeEnv(sim::Simulator& sim, sim::NodeId id, sim::Rng rng,
+            std::uint32_t gateway_cores)
+        : store(rng),
+          pool(sim),
+          gateway(sim, "node" + std::to_string(id) + ".gw", gateway_cores) {}
+
+    shm::ObjectStore store;     ///< shared-memory object store (§4.1)
+    UpdatePool pool;            ///< in-place message queue of the node (§4.2)
+    sim::Resource gateway;      ///< gateway cores; vertically scaled (§4.2)
+    Sockmap sockmap;            ///< local routes (Appendix A)
+    InterNodeRoutes remote_routes;  ///< gateway's inter-node routing table
+    MetricsMap metrics;         ///< eBPF metrics map (§4.3)
+    Broker broker;              ///< broker bookkeeping (baseline planes)
+  };
+
+  DataPlane(sim::Cluster& cluster, DataPlaneConfig cfg, sim::Rng rng);
+  DataPlane(const DataPlane&) = delete;
+  DataPlane& operator=(const DataPlane&) = delete;
+
+  const DataPlaneConfig& config() const noexcept { return cfg_; }
+  sim::Cluster& cluster() noexcept { return cluster_; }
+  NodeEnv& env(sim::NodeId id) { return *envs_.at(id); }
+
+  // ------------------------------------------------------------- routing
+  /// Register a consumer (aggregator) at `node`; `deliver` receives updates
+  /// addressed to it. Updates the node's sockmap and every gateway's
+  /// inter-node routing table (the routing manager's bpf_map_update_elem).
+  void register_consumer(fl::ParticipantId id, sim::NodeId node,
+                         Sockmap::DeliverFn deliver);
+
+  /// Remove a consumer from all routing tables.
+  void unregister_consumer(fl::ParticipantId id);
+
+  /// Node hosting a registered consumer.
+  std::optional<sim::NodeId> node_of(fl::ParticipantId id) const;
+
+  // ----------------------------------------------------------- transfers
+  /// Aggregator-to-aggregator transfer; routed intra-node (sockmap) or
+  /// inter-node (gateway to gateway). `on_delivered` fires when the update
+  /// reaches the destination runtime's queue (before its Recv processing).
+  void send(fl::ParticipantId src, sim::NodeId src_node, fl::ParticipantId dst,
+            fl::ModelUpdate update, std::function<void()> on_delivered = {});
+
+  /// Client upload into `dst_node`'s pending pool through the node gateway
+  /// (or broker path on baseline planes). Client-side costs are excluded,
+  /// matching Appendix F.
+  void client_upload(sim::NodeId dst_node, fl::ModelUpdate update,
+                     double uplink_bytes_per_sec,
+                     std::function<void()> on_enqueued = {});
+
+  /// Deposit an update directly into `node`'s pool as if it had already
+  /// been ingested (in-place queued in shm on the LIFL plane), at zero
+  /// cost. Used by microbenchmarks that start from a known queue state
+  /// (Fig. 8: "the estimated Q equals the actual queue length").
+  void seed_update(sim::NodeId node, fl::ModelUpdate update);
+
+  /// CPU cycles a consumer must spend in its Recv step to take ownership of
+  /// a delivered update (shm read for LIFL, deserialization for kernel
+  /// planes; plus full client-stream decoding if no gateway/broker
+  /// terminated the upload). Paid by the runtime, which is single-threaded.
+  double recv_cycles(const fl::ModelUpdate& update) const noexcept;
+
+  /// A consumer on `node` takes one queued update out of the node's pending
+  /// pool; `ready` fires when the payload is at the consumer. On the LIFL
+  /// plane this is free — the update already sits in shared memory and the
+  /// consumer holds its key (§4.2 in-place queuing). On a bare serverful
+  /// plane the queue is in the aggregator's own memory (Fig. 5 monolith) —
+  /// also free. On brokered planes the queue lives in the broker, so every
+  /// consumption is a real broker delivery: dequeue processing on the broker
+  /// service plus kernel/wire hops to the consumer — the "inefficient
+  /// message queuing" overhead of §2.3.
+  void consume(sim::NodeId node, const fl::ModelUpdate& update,
+               std::function<void()> ready);
+
+  /// Record an aggregation-task execution time observed by the sidecar
+  /// attached to an aggregator on `node` (§4.3): event-driven metric write.
+  void record_agg_exec(sim::NodeId node, double exec_secs);
+
+  // ------------------------------------------------- always-on overheads
+  /// Register a constant CPU draw (broker, container sidecar) on a node.
+  IdleHandle register_idle_draw(sim::NodeId node, sim::CostTag tag,
+                                double cores);
+  /// Settle and remove a draw.
+  void remove_idle_draw(IdleHandle h);
+  /// Bill all idle draws up to sim.now(). Call before reading CPU ledgers.
+  void settle_idle_costs();
+
+  /// Vertical scaling of a node gateway (§4.2).
+  void set_gateway_cores(sim::NodeId node, std::uint32_t cores);
+
+  /// The cluster's message-broker service threads (brokered planes only):
+  /// a fixed-capacity resource on `config().broker_node` that every
+  /// brokered message transits (Fig. 2(b)).
+  sim::Resource& broker_service() noexcept { return broker_svc_; }
+
+  /// Total data moved across nodes (bytes), for locality accounting.
+  std::uint64_t inter_node_bytes() const noexcept { return inter_node_bytes_; }
+  /// Total intra-node update hand-offs served by shared memory.
+  std::uint64_t shm_deliveries() const noexcept { return shm_deliveries_; }
+
+ private:
+  void deliver(sim::NodeId dst_node, fl::ParticipantId dst,
+               fl::ModelUpdate update, std::function<void()> done);
+  /// Put the update payload into `node`'s store and attach a release lease.
+  void attach_shm_lease(sim::NodeId node, fl::ModelUpdate& update);
+
+  std::vector<CostStep> intra_node_steps(sim::Node& node, std::size_t bytes);
+  std::vector<CostStep> inter_node_steps(sim::Node& src, sim::Node& dst,
+                                         std::size_t bytes);
+  std::vector<CostStep> ingest_steps(sim::Node& node, std::size_t bytes);
+  /// Appends the broker leg of a brokered path: hop to the broker node if
+  /// needed, broker processing on the broker service threads, then the hop
+  /// from the broker to `dst` (Fig. 2(b) indirection).
+  void append_broker_leg(std::vector<CostStep>& steps, sim::Node& src,
+                         sim::Node& dst, std::size_t bytes,
+                         double extra_broker_cycles_per_byte = 0.0);
+
+  sim::Cluster& cluster_;
+  DataPlaneConfig cfg_;
+  sim::Resource broker_svc_;
+  StepRunner runner_;
+  std::vector<std::unique_ptr<NodeEnv>> envs_;
+  std::unordered_map<fl::ParticipantId, sim::NodeId> consumers_;
+
+  struct IdleDraw {
+    sim::NodeId node;
+    sim::CostTag tag;
+    double cores;
+    sim::SimTime since;
+  };
+  std::unordered_map<IdleHandle, IdleDraw> idle_draws_;
+  IdleHandle next_idle_handle_ = 1;
+
+  std::uint64_t inter_node_bytes_ = 0;
+  std::uint64_t shm_deliveries_ = 0;
+};
+
+}  // namespace lifl::dp

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace lifl::dp {
+
+/// In-kernel, key-value metrics table written by the eBPF sidecar (§4.3).
+///
+/// Mirrors a BPF map: the sidecar program updates entries at event time
+/// (send() invocations) with no userspace involvement; the per-node LIFL
+/// agent periodically drains it and feeds the metrics server. Keys are
+/// free-form metric names (e.g. "agg_exec_sum", "arrivals").
+class MetricsMap {
+ public:
+  /// Add `delta` to the metric (creating it at zero).
+  void increment(const std::string& key, double delta = 1.0) {
+    values_[key] += delta;
+  }
+
+  /// Overwrite a metric.
+  void set(const std::string& key, double value) { values_[key] = value; }
+
+  /// Read a metric; 0.0 if absent.
+  double get(const std::string& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+
+  /// Read a metric and reset it to zero (the agent's poll-and-drain).
+  double drain(const std::string& key) {
+    auto it = values_.find(key);
+    if (it == values_.end()) return 0.0;
+    const double v = it->second;
+    it->second = 0.0;
+    return v;
+  }
+
+  std::size_t size() const noexcept { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, double> values_;
+};
+
+/// Metric keys shared between the sidecar/gateway writers and the agent.
+namespace metric_keys {
+inline constexpr const char* kArrivals = "arrivals";
+inline constexpr const char* kAggExecSum = "agg_exec_sum";
+inline constexpr const char* kAggExecCount = "agg_exec_count";
+inline constexpr const char* kSends = "sends";
+inline constexpr const char* kSendBytes = "send_bytes";
+}  // namespace metric_keys
+
+}  // namespace lifl::dp

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/fl/model_update.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace lifl::dp {
+
+/// Event-driven FIFO of pending model updates on a node.
+///
+/// This is the node-level message queue that client updates land in after
+/// the gateway's one-time payload processing (§4.2): leaf aggregators pull
+/// from it (pull model = the "in fact function chains" consumption order of
+/// §5). Under LIFL the payload already sits in shared memory and the entry
+/// is effectively just a key (the update's `lease` holds the shm
+/// reference); under baseline planes it stands in for the broker queue /
+/// aggregator in-memory queue, with costs billed by the plane.
+class UpdatePool {
+ public:
+  using Waiter = std::function<void(fl::ModelUpdate)>;
+
+  explicit UpdatePool(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Enqueue; wakes the longest-waiting consumer, if any.
+  void push(fl::ModelUpdate u) {
+    ++total_pushed_;
+    if (!waiters_.empty()) {
+      Waiter w = std::move(waiters_.front());
+      waiters_.pop_front();
+      sim_.schedule_after(0.0, [w = std::move(w), u = std::move(u)]() mutable {
+        w(std::move(u));
+      });
+      return;
+    }
+    entries_.push_back(Entry{std::move(u), sim_.now()});
+    max_depth_ = std::max(max_depth_, entries_.size());
+    for (std::size_t i = 0; i < depth_watchers_.size();) {
+      if (entries_.size() >= depth_watchers_[i].depth) {
+        sim_.schedule_after(0.0, std::move(depth_watchers_[i].fn));
+        depth_watchers_.erase(depth_watchers_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  /// Synchronous pop; false if empty.
+  bool try_pop(fl::ModelUpdate& out) {
+    if (entries_.empty()) return false;
+    out = take_front();
+    return true;
+  }
+
+  /// Asynchronous pop: fires immediately if buffered, else on next push.
+  void pop_async(Waiter w) {
+    if (!entries_.empty()) {
+      fl::ModelUpdate u = take_front();
+      sim_.schedule_after(0.0, [w = std::move(w), u = std::move(u)]() mutable {
+        w(std::move(u));
+      });
+      return;
+    }
+    waiters_.push_back(std::move(w));
+  }
+
+  /// Remove all unclaimed waiters (e.g. when aggregators are torn down).
+  void clear_waiters() {
+    waiters_.clear();
+    depth_watchers_.clear();
+  }
+
+  /// Fire `fn` once the pool holds at least `n` buffered updates
+  /// (immediately if it already does). Lazy aggregation tasks use this to
+  /// defer consuming until their whole batch is queued (Fig. 1 "lazy":
+  /// updates queue at the broker until the aggregator is ready for them).
+  void when_depth(std::size_t n, std::function<void()> fn) {
+    if (entries_.size() >= n) {
+      sim_.schedule_after(0.0, std::move(fn));
+      return;
+    }
+    depth_watchers_.push_back(DepthWatcher{n, std::move(fn)});
+  }
+
+  std::size_t depth() const noexcept { return entries_.size(); }
+  std::size_t waiter_count() const noexcept { return waiters_.size(); }
+  std::size_t max_depth() const noexcept { return max_depth_; }
+  std::uint64_t total_pushed() const noexcept { return total_pushed_; }
+  double total_queueing_delay() const noexcept { return total_delay_; }
+
+ private:
+  struct Entry {
+    fl::ModelUpdate update;
+    double enqueued_at;
+  };
+
+  struct DepthWatcher {
+    std::size_t depth;
+    std::function<void()> fn;
+  };
+
+  fl::ModelUpdate take_front() {
+    Entry e = std::move(entries_.front());
+    entries_.pop_front();
+    total_delay_ += sim_.now() - e.enqueued_at;
+    return std::move(e.update);
+  }
+
+  sim::Simulator& sim_;
+  std::deque<Entry> entries_;
+  std::deque<Waiter> waiters_;
+  std::vector<DepthWatcher> depth_watchers_;
+  std::size_t max_depth_ = 0;
+  std::uint64_t total_pushed_ = 0;
+  double total_delay_ = 0.0;
+};
+
+}  // namespace lifl::dp

@@ -1,0 +1,266 @@
+#include "src/fl/aggregator_runtime.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/sim/calibration.hpp"
+
+namespace lifl::fl {
+
+namespace calib = sim::calib;
+using sim::CostTag;
+
+std::string to_string(AggRole role) {
+  switch (role) {
+    case AggRole::kLeaf: return "leaf";
+    case AggRole::kMiddle: return "middle";
+    case AggRole::kTop: return "top";
+  }
+  return "unknown";
+}
+
+AggregatorRuntime::AggregatorRuntime(dp::DataPlane& plane, Config cfg)
+    : plane_(plane),
+      sim_(plane.cluster().sim()),
+      cfg_(std::move(cfg)),
+      alive_(std::make_shared<bool>(true)) {
+  if (cfg_.goal == 0) {
+    throw std::invalid_argument("AggregatorRuntime: goal must be >= 1");
+  }
+}
+
+AggregatorRuntime::~AggregatorRuntime() {
+  if (started_) stop();
+}
+
+void AggregatorRuntime::start() {
+  if (started_) return;
+  started_ = true;
+  *alive_ = true;
+  // Register the socket so producers can reach us even before we're ready:
+  // updates delivered during cold start buffer in the FIFO, exactly like
+  // messages queueing while a function boots.
+  plane_.register_consumer(cfg_.id, cfg_.node,
+                           [this](ModelUpdate u) { deliver(std::move(u)); });
+  // Pull requests are armed even before the sandbox is ready: an arriving
+  // update is what triggers reactive scale-from-zero, and deliveries during
+  // cold start simply buffer (messages queue while the function boots).
+  maybe_pull();
+  switch (cfg_.cold_trigger) {
+    case ColdStartTrigger::kNone:
+      on_ready();
+      break;
+    case ColdStartTrigger::kOnStart:
+      begin_cold_start();
+      break;
+    case ColdStartTrigger::kOnFirstUpdate:
+      break;  // wait for the first delivery (reactive scaling)
+  }
+}
+
+void AggregatorRuntime::begin_cold_start() {
+  if (cold_start_begun_) return;
+  cold_start_begun_ = true;
+  if (cfg_.cold_start_secs <= 0.0 && cfg_.cold_start_cycles <= 0.0) {
+    on_ready();
+    return;
+  }
+  sim_.schedule_after(cfg_.cold_start_secs, [this, alive = alive_]() {
+    if (!*alive) return;
+    plane_.cluster().node(cfg_.node).cpu().add(CostTag::kStartup,
+                                               cfg_.cold_start_cycles);
+    on_ready();
+  });
+}
+
+void AggregatorRuntime::on_ready() {
+  ready_ = true;
+  pump();
+}
+
+void AggregatorRuntime::stop() {
+  if (!started_) return;
+  started_ = false;
+  ready_ = false;
+  *alive_ = false;  // invalidates in-flight pool waiters and timers
+  plane_.unregister_consumer(cfg_.id);
+  // Return unprocessed updates to the node pool: the runtime is stateless,
+  // so a replacement can pick them up with no state synchronization. An
+  // update mid-Recv/Agg is included — its shm object still exists, so a
+  // successor simply re-reads it.
+  if (in_flight_.has_value()) {
+    plane_.env(cfg_.node).pool.push(std::move(*in_flight_));
+    in_flight_.reset();
+    processing_ = false;
+  }
+  while (!fifo_.empty()) {
+    plane_.env(cfg_.node).pool.push(std::move(fifo_.front()));
+    fifo_.pop_front();
+  }
+}
+
+void AggregatorRuntime::convert_role(Config cfg) {
+  if (processing_) {
+    throw std::logic_error("convert_role: runtime is mid-step");
+  }
+  if (started_) {
+    plane_.unregister_consumer(cfg_.id);
+  }
+  *alive_ = false;  // invalidate any stale waiters/timers of the old role
+  // Stateless: drop all aggregation state; keep the warm sandbox. Updates
+  // still buffered (none, if the caller honored idle()) go back to the pool.
+  while (!fifo_.empty()) {
+    plane_.env(cfg_.node).pool.push(std::move(fifo_.front()));
+    fifo_.pop_front();
+  }
+  acc_.reset();
+  cfg_ = std::move(cfg);
+  // A converted instance is warm by definition.
+  cfg_.cold_trigger = ColdStartTrigger::kNone;
+  cfg_.cold_start_secs = 0.0;
+  cfg_.cold_start_cycles = 0.0;
+  sent_ = false;
+  received_ = 0;
+  pulled_ = 0;
+  aggregated_ = 0;
+  version_ = 0;
+  first_arrival_at_ = -1.0;
+  sent_at_ = -1.0;
+  started_ = false;
+  cold_start_begun_ = false;
+  ready_ = false;
+  alive_ = std::make_shared<bool>(true);
+  start();
+}
+
+void AggregatorRuntime::maybe_pull() {
+  if (!cfg_.pull_from_pool || !started_) return;
+  auto& pool = plane_.env(cfg_.node).pool;
+  if (cfg_.timing == AggTiming::kLazy && pulled_ == 0 &&
+      pool.depth() < cfg_.goal) {
+    // Lazy just-in-time consumption (Fig. 1): updates queue in the message
+    // broker / shm pool until the aggregation task's whole batch is there,
+    // then the task drains it. (Eager tasks consume per arrival instead.)
+    pool.when_depth(cfg_.goal, [this, alive = alive_]() {
+      if (!*alive) return;
+      maybe_pull();
+    });
+    return;
+  }
+  auto* plane = &plane_;
+  const sim::NodeId node = cfg_.node;
+  while (pulled_ < cfg_.goal) {
+    ++pulled_;
+    pool.pop_async([this, plane, node, alive = alive_](ModelUpdate u) {
+      if (!*alive) {
+        // Instance went away; put the update back for a successor.
+        plane->env(node).pool.push(std::move(u));
+        return;
+      }
+      // Taking the update out of the queue is a broker delivery on
+      // brokered planes and free under LIFL's in-place queuing (§4.2).
+      auto shared = std::make_shared<ModelUpdate>(std::move(u));
+      plane->consume(node, *shared, [this, plane, node, alive, shared]() {
+        if (!*alive) {
+          plane->env(node).pool.push(std::move(*shared));
+          return;
+        }
+        deliver(std::move(*shared));
+      });
+    });
+  }
+}
+
+void AggregatorRuntime::deliver(ModelUpdate u) {
+  if (!started_) {
+    // Late delivery after stop(): recycle into the pool.
+    plane_.env(cfg_.node).pool.push(std::move(u));
+    return;
+  }
+  if (cfg_.expected_version != 0 &&
+      u.model_version != cfg_.expected_version) {
+    // Stale straggler from an earlier round: drop it (its shm lease is
+    // released as `u` goes out of scope) and keep listening.
+    ++stale_dropped_;
+    if (cfg_.pull_from_pool && pulled_ > 0) {
+      --pulled_;
+      maybe_pull();
+    }
+    return;
+  }
+  ++received_;
+  if (first_arrival_at_ < 0) first_arrival_at_ = sim_.now();
+  version_ = std::max(version_, u.model_version);
+  fifo_.push_back(std::move(u));
+  if (!ready_ && cfg_.cold_trigger == ColdStartTrigger::kOnFirstUpdate) {
+    begin_cold_start();
+  }
+  pump();
+}
+
+void AggregatorRuntime::pump() {
+  if (!ready_ || processing_ || sent_) return;
+  if (fifo_.empty()) return;
+  if (cfg_.timing == AggTiming::kLazy && received_ < cfg_.goal) {
+    // Lazy: hold the batch until every expected update has arrived.
+    return;
+  }
+  ModelUpdate u = std::move(fifo_.front());
+  fifo_.pop_front();
+  process_one(std::move(u));
+}
+
+void AggregatorRuntime::process_one(ModelUpdate u) {
+  processing_ = true;
+  in_flight_ = std::move(u);
+  sim::Node& node = plane_.cluster().node(cfg_.node);
+  const std::size_t bytes = in_flight_->logical_bytes;
+
+  // ---- Recv step: take ownership of the payload (shm map / deserialize).
+  const double recv_cycles = plane_.recv_cycles(*in_flight_);
+  const double recv_secs = recv_cycles / node.config().cpu_hz;
+  node.cores().acquire(recv_secs, [this, &node, bytes, recv_cycles, recv_secs,
+                                   alive = alive_]() {
+    if (!*alive) return;
+    node.cpu().add(CostTag::kSerialization, recv_cycles);
+    busy_secs_ += recv_secs;
+
+    // ---- Agg step: fold into the cumulative weighted average.
+    const double agg_cycles =
+        calib::kAggregateCyclesPerByte * static_cast<double>(bytes) +
+        calib::kAggregateFixedCycles;
+    const double agg_secs = agg_cycles / node.config().cpu_hz;
+    node.cores().acquire(agg_secs, [this, &node, agg_cycles, agg_secs,
+                                    alive]() {
+      if (!*alive) return;
+      node.cpu().add(CostTag::kAggregator, agg_cycles);
+      busy_secs_ += agg_secs;
+      acc_.add(*in_flight_);
+      ++aggregated_;
+      // The eBPF sidecar observes the execution and records metrics (§4.3).
+      plane_.record_agg_exec(cfg_.node, agg_secs);
+      // Dropping the update releases its shm lease (buffer recycled).
+      in_flight_.reset();
+      processing_ = false;
+      if (aggregated_ >= cfg_.goal) {
+        do_send();
+      } else {
+        pump();
+      }
+    });
+  });
+}
+
+void AggregatorRuntime::do_send() {
+  sent_ = true;
+  sent_at_ = sim_.now();
+  ModelUpdate result = acc_.make_update(version_, cfg_.id, cfg_.result_bytes);
+  result.created_at = sim_.now();
+  if (cfg_.consumer != 0) {
+    plane_.send(cfg_.id, cfg_.node, cfg_.consumer, std::move(result));
+  } else if (cfg_.on_result) {
+    cfg_.on_result(std::move(result));
+  }
+}
+
+}  // namespace lifl::fl

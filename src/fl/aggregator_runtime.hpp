@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/dataplane/dataplane.hpp"
+#include "src/fl/fedavg.hpp"
+#include "src/fl/model_update.hpp"
+#include "src/sim/time.hpp"
+
+namespace lifl::fl {
+
+/// Level of an aggregator in the hierarchy (§2.2, §5.2).
+enum class AggRole : std::uint8_t { kLeaf, kMiddle, kTop };
+
+/// When aggregation work is triggered (§2.1, Fig. 1).
+enum class AggTiming : std::uint8_t {
+  kEager,  ///< fold each update as it arrives (Recv overlaps Agg)
+  kLazy,   ///< queue updates; aggregate the whole batch once the goal is met
+};
+
+std::string to_string(AggRole role);
+
+/// When the cold-start clock of a new instance begins.
+enum class ColdStartTrigger : std::uint8_t {
+  kNone,           ///< warm instance: ready immediately
+  kOnStart,        ///< proactive spawn: cold start runs from start()
+  kOnFirstUpdate,  ///< reactive (Knative-style) spawn: cold start begins when
+                   ///< the first update shows up — the cascading effect of
+                   ///< §2.3 when scaling a function chain
+};
+
+/// The LIFL aggregator runtime: the step-based processing model of Fig. 14.
+///
+/// A multiple-producer / single-consumer pipeline of three steps —
+///   Recv: take the next update (object key) off the FIFO and map/decode it;
+///   Agg:  fold it into the running FedAvg accumulator, repeating until the
+///         aggregation goal is met;
+///   Send: emit the aggregate to the designated consumer.
+/// Steps execute strictly sequentially (the runtime is single-threaded),
+/// but Recv and Agg overlap across *updates* under eager timing: each
+/// arrival is processed immediately instead of waiting for the batch.
+///
+/// The runtime is **stateless** across aggregation tasks: `convert_role`
+/// re-purposes a finished instance as a higher-level aggregator with no
+/// state synchronization — the opportunistic-reuse mechanism of §5.3.
+class AggregatorRuntime {
+ public:
+  using ResultFn = std::function<void(ModelUpdate)>;
+
+  struct Config {
+    ParticipantId id = 0;
+    sim::NodeId node = 0;
+    AggRole role = AggRole::kLeaf;
+    AggTiming timing = AggTiming::kEager;
+    std::uint32_t goal = 1;        ///< direct updates to fold before Send
+    ParticipantId consumer = 0;    ///< downstream aggregator (0: use on_result)
+    std::size_t result_bytes = 0;  ///< wire size of the produced update
+    bool pull_from_pool = false;   ///< leaf: pull client updates off the node pool
+    ResultFn on_result;            ///< sink for the aggregate (top level)
+    /// Accept only updates for this global model version (0 = accept any);
+    /// stale stragglers from earlier rounds are discarded (§2.1).
+    std::uint32_t expected_version = 0;
+
+    // Cold-start modelling (filled in by the node agent).
+    ColdStartTrigger cold_trigger = ColdStartTrigger::kNone;
+    double cold_start_secs = 0.0;
+    double cold_start_cycles = 0.0;
+  };
+
+  AggregatorRuntime(dp::DataPlane& plane, Config cfg);
+  ~AggregatorRuntime();
+  AggregatorRuntime(const AggregatorRuntime&) = delete;
+  AggregatorRuntime& operator=(const AggregatorRuntime&) = delete;
+
+  /// Register routes and begin operating (subject to cold start).
+  void start();
+
+  /// Unregister and stop. Unprocessed updates return to the node pool so a
+  /// successor instance can aggregate them (stateless failover, §3).
+  void stop();
+
+  /// Stateless role conversion (§5.3): re-arm this warm instance under a new
+  /// configuration with zero start-up cost. Requires the runtime to be idle.
+  void convert_role(Config cfg);
+
+  /// Hand an update to this runtime directly, bypassing the data plane —
+  /// used when a converted instance keeps its own previous output (the
+  /// aggregate is already in its memory; no transfer happens).
+  void inject(ModelUpdate u) { deliver(std::move(u)); }
+
+  const Config& config() const noexcept { return cfg_; }
+  bool started() const noexcept { return started_; }
+  bool ready() const noexcept { return ready_; }
+  /// The aggregation goal was met and the result sent.
+  bool done() const noexcept { return sent_; }
+  /// Started, not processing, nothing buffered (reusable when also done).
+  bool idle() const noexcept {
+    return started_ && !processing_ && fifo_.empty();
+  }
+
+  std::uint32_t received() const noexcept { return received_; }
+  std::uint32_t aggregated() const noexcept { return aggregated_; }
+  std::uint32_t stale_dropped() const noexcept { return stale_dropped_; }
+  sim::SimTime first_arrival_at() const noexcept { return first_arrival_at_; }
+  sim::SimTime sent_at() const noexcept { return sent_at_; }
+  /// Total seconds spent in Recv+Agg+Send processing.
+  sim::SimTime busy_secs() const noexcept { return busy_secs_; }
+
+ private:
+  void deliver(ModelUpdate u);
+  void begin_cold_start();
+  void on_ready();
+  void pump();
+  void process_one(ModelUpdate u);
+  void do_send();
+  void maybe_pull();
+
+  dp::DataPlane& plane_;
+  sim::Simulator& sim_;
+  Config cfg_;
+  FedAvgAccumulator acc_;
+  std::deque<ModelUpdate> fifo_;
+  std::optional<ModelUpdate> in_flight_;  ///< update mid-Recv/Agg
+  std::shared_ptr<bool> alive_;  ///< guards pool waiters across stop()
+
+  bool started_ = false;
+  bool ready_ = false;
+  bool cold_start_begun_ = false;
+  bool processing_ = false;
+  bool sent_ = false;
+  std::uint32_t received_ = 0;
+  std::uint32_t pulled_ = 0;
+  std::uint32_t aggregated_ = 0;
+  std::uint32_t stale_dropped_ = 0;
+  std::uint32_t version_ = 0;
+  sim::SimTime first_arrival_at_ = -1.0;
+  sim::SimTime sent_at_ = -1.0;
+  sim::SimTime busy_secs_ = 0.0;
+};
+
+}  // namespace lifl::fl

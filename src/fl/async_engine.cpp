@@ -1,0 +1,104 @@
+#include "src/fl/async_engine.hpp"
+
+#include "src/fl/aggregator_runtime.hpp"
+#include "src/sim/calibration.hpp"
+
+namespace lifl::fl {
+
+namespace calib = sim::calib;
+
+AsyncEngine::AsyncEngine(dp::DataPlane& plane, Config cfg)
+    : plane_(plane),
+      sim_(plane.cluster().sim()),
+      cfg_(cfg),
+      alive_(std::make_shared<bool>(true)) {}
+
+AsyncEngine::~AsyncEngine() { stop(); }
+
+void AsyncEngine::start() {
+  if (running_) return;
+  running_ = true;
+  *alive_ = true;
+  pull();
+}
+
+void AsyncEngine::stop() {
+  if (!running_) return;
+  running_ = false;
+  *alive_ = false;
+  while (!lazy_buffer_.empty()) {
+    plane_.env(cfg_.node).pool.push(std::move(lazy_buffer_.front()));
+    lazy_buffer_.pop_front();
+  }
+}
+
+void AsyncEngine::pull() {
+  plane_.env(cfg_.node).pool.pop_async(
+      [this, alive = alive_](ModelUpdate u) {
+        if (!*alive) {
+          plane_.env(cfg_.node).pool.push(std::move(u));
+          return;
+        }
+        on_update(std::move(u));
+        pull();  // async: the engine never stops consuming
+      });
+}
+
+void AsyncEngine::on_update(ModelUpdate u) {
+  // Staleness control: an update trained from a version too far behind the
+  // current global model is discarded.
+  if (version_ > u.model_version &&
+      version_ - u.model_version > cfg_.max_staleness) {
+    ++stale_dropped_;
+    return;
+  }
+  if (cfg_.timing == AggTiming::kEager) {
+    process(std::move(u));
+    return;
+  }
+  lazy_buffer_.push_back(std::move(u));
+  if (lazy_buffer_.size() + acc_.updates_folded() >= cfg_.aggregation_goal &&
+      !processing_) {
+    ModelUpdate next = std::move(lazy_buffer_.front());
+    lazy_buffer_.pop_front();
+    process(std::move(next));
+  }
+}
+
+void AsyncEngine::process(ModelUpdate u) {
+  processing_ = true;
+  sim::Node& node = plane_.cluster().node(cfg_.node);
+  const double recv_cycles = plane_.recv_cycles(u);
+  const double agg_cycles =
+      calib::kAggregateCyclesPerByte * static_cast<double>(u.logical_bytes) +
+      calib::kAggregateFixedCycles;
+  const double secs = (recv_cycles + agg_cycles) / node.config().cpu_hz;
+  node.cores().acquire(secs, [this, &node, u = std::move(u), recv_cycles,
+                              agg_cycles, alive = alive_]() mutable {
+    if (!*alive) return;
+    node.cpu().add(sim::CostTag::kSerialization, recv_cycles);
+    node.cpu().add(sim::CostTag::kAggregator, agg_cycles);
+    acc_.add(u);
+    u = ModelUpdate{};
+    processing_ = false;
+    maybe_emit_version();
+    // Lazy mode: keep draining the batch buffer.
+    if (cfg_.timing == AggTiming::kLazy && !lazy_buffer_.empty() &&
+        lazy_buffer_.size() + acc_.updates_folded() >=
+            cfg_.aggregation_goal) {
+      ModelUpdate next = std::move(lazy_buffer_.front());
+      lazy_buffer_.pop_front();
+      process(std::move(next));
+    }
+  });
+}
+
+void AsyncEngine::maybe_emit_version() {
+  if (acc_.updates_folded() < cfg_.aggregation_goal) return;
+  ++version_;
+  version_times_.push_back(sim_.now());
+  global_ = acc_.result();
+  acc_.reset();
+}
+
+}  // namespace lifl::fl

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/dataplane/dataplane.hpp"
+#include "src/fl/fedavg.hpp"
+#include "src/fl/model_update.hpp"
+
+namespace lifl::fl {
+
+enum class AggTiming : std::uint8_t;  // defined in aggregator_runtime.hpp
+
+/// Asynchronous FL aggregation engine (Fig. 11; FedBuff/PAPAYA-style
+/// buffered asynchronous aggregation). The paper lists asynchronous FL as
+/// future work for LIFL; this extension implements it on the same data
+/// plane: updates stream in continuously, and every `aggregation_goal`
+/// accepted updates produce a new global model version — eagerly (fold on
+/// arrival) or lazily (fold per batch).
+class AsyncEngine {
+ public:
+  struct Config {
+    sim::NodeId node = 0;
+    std::uint32_t aggregation_goal = 2;  ///< updates per version bump
+    std::uint32_t concurrency = 4;       ///< concurrently training clients
+    AggTiming timing;                    ///< eager or lazy folding
+    std::size_t update_bytes = 0;
+    /// Updates trained from a version older than (current - max_staleness)
+    /// are discarded (basic staleness control).
+    std::uint32_t max_staleness = 1'000'000;
+  };
+
+  AsyncEngine(dp::DataPlane& plane, Config cfg);
+  ~AsyncEngine();
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Begin consuming updates from the node pool.
+  void start();
+  /// Stop consuming; buffered updates return to the pool.
+  void stop();
+
+  /// Simulated times at which new global versions were produced.
+  const std::vector<double>& version_times() const noexcept {
+    return version_times_;
+  }
+  std::uint32_t current_version() const noexcept { return version_; }
+  std::uint32_t stale_dropped() const noexcept { return stale_dropped_; }
+  /// The latest global parameters (real-payload mode), if any.
+  std::shared_ptr<const ml::Tensor> global_params() const noexcept {
+    return global_;
+  }
+
+ private:
+  void pull();
+  void on_update(ModelUpdate u);
+  void process(ModelUpdate u);
+  void maybe_emit_version();
+
+  dp::DataPlane& plane_;
+  sim::Simulator& sim_;
+  Config cfg_;
+  FedAvgAccumulator acc_;
+  std::deque<ModelUpdate> lazy_buffer_;
+  std::shared_ptr<bool> alive_;
+  bool running_ = false;
+  bool processing_ = false;
+  std::uint32_t version_ = 1;
+  std::uint32_t stale_dropped_ = 0;
+  std::vector<double> version_times_;
+  std::shared_ptr<const ml::Tensor> global_;
+};
+
+}  // namespace lifl::fl

@@ -1,0 +1,34 @@
+#include "src/fl/checkpoint.hpp"
+
+namespace lifl::fl {
+
+bool CheckpointManager::maybe_checkpoint(std::uint32_t version,
+                                         std::size_t model_bytes,
+                                         std::function<void()> on_persisted) {
+  if (cfg_.every_n_versions == 0 || version % cfg_.every_n_versions != 0) {
+    return false;
+  }
+  ++in_flight_;
+  sim::Node& node = cluster_.node(node_);
+  const double marshal_cycles =
+      cfg_.marshal_cycles_per_byte * static_cast<double>(model_bytes);
+  const double write_secs =
+      static_cast<double>(model_bytes) / cfg_.storage_bytes_per_sec;
+  // Marshal on the node (billed, background priority), then the storage
+  // write is pure latency off the node.
+  node.cores().acquire(
+      marshal_cycles / node.config().cpu_hz,
+      [this, &node, marshal_cycles, write_secs, version,
+       done = std::move(on_persisted)]() mutable {
+        node.cpu().add(sim::CostTag::kCheckpoint, marshal_cycles);
+        cluster_.sim().schedule_after(
+            write_secs, [this, version, done = std::move(done)]() {
+              persisted_.push_back(version);
+              --in_flight_;
+              if (done) done();
+            });
+      });
+  return true;
+}
+
+}  // namespace lifl::fl

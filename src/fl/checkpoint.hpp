@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/fl/model_update.hpp"
+#include "src/sim/calibration.hpp"
+#include "src/sim/node.hpp"
+
+namespace lifl::fl {
+
+/// Asynchronous model checkpointing (Appendix B): after the aggregator
+/// finishes a round, the agent persists the global model to an external
+/// storage service in the background, so checkpoint latency never lands on
+/// the aggregation completion time.
+class CheckpointManager {
+ public:
+  struct Config {
+    /// Persist every N-th global model version.
+    std::uint32_t every_n_versions = sim::calib::kCheckpointEveryNVersions;
+    /// External storage throughput.
+    double storage_bytes_per_sec = sim::calib::kCheckpointBytesPerSec;
+    /// CPU to marshal a checkpoint, per byte.
+    double marshal_cycles_per_byte = 0.5;
+  };
+
+  CheckpointManager(sim::Cluster& cluster, sim::NodeId node, Config cfg)
+      : cluster_(cluster), node_(node), cfg_(cfg) {}
+
+  /// Request a checkpoint of `version`; a no-op unless the version matches
+  /// the cadence. `on_persisted` fires when the write is durable.
+  /// Returns true if a checkpoint was started.
+  bool maybe_checkpoint(std::uint32_t version, std::size_t model_bytes,
+                        std::function<void()> on_persisted = {});
+
+  /// Versions persisted so far, in completion order.
+  const std::vector<std::uint32_t>& persisted() const noexcept {
+    return persisted_;
+  }
+
+  /// Checkpoints started but not yet durable.
+  std::uint32_t in_flight() const noexcept { return in_flight_; }
+
+ private:
+  sim::Cluster& cluster_;
+  sim::NodeId node_;
+  Config cfg_;
+  std::vector<std::uint32_t> persisted_;
+  std::uint32_t in_flight_ = 0;
+};
+
+}  // namespace lifl::fl

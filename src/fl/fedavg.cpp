@@ -1,0 +1,90 @@
+#include "src/fl/fedavg.hpp"
+
+#include <stdexcept>
+
+namespace lifl::fl {
+
+void FedAvgAccumulator::add(const ModelUpdate& update) {
+  if (update.sample_count == 0) {
+    throw std::invalid_argument("FedAvg: update with zero sample_count");
+  }
+  if (update.tensor) {
+    add_tensor_weighted(update.tensor, update.sample_count);
+  } else {
+    total_samples_ += update.sample_count;
+  }
+  updates_folded_ += update.updates_folded;
+}
+
+void FedAvgAccumulator::add(const std::shared_ptr<const ml::Tensor>& params,
+                            std::uint64_t sample_count) {
+  if (sample_count == 0) {
+    throw std::invalid_argument("FedAvg: zero sample_count");
+  }
+  if (params) {
+    add_tensor_weighted(params, sample_count);
+  } else {
+    total_samples_ += sample_count;
+  }
+  ++updates_folded_;
+}
+
+void FedAvgAccumulator::add_tensor_weighted(
+    const std::shared_ptr<const ml::Tensor>& params,
+    std::uint64_t sample_count) {
+  const std::uint64_t new_total = total_samples_ + sample_count;
+  if (!avg_) {
+    // First tensor: copy-on-write start of the running average.
+    avg_ = std::make_shared<ml::Tensor>(*params);
+    if (total_samples_ > 0) {
+      // Logical-only weight arrived earlier; it is defined to carry a zero
+      // tensor, keeping the weighted-mean invariant exact in mixed mode.
+      avg_->scale(static_cast<float>(static_cast<double>(sample_count) /
+                                     static_cast<double>(new_total)));
+    }
+  } else {
+    // avg += (w - avg) * c / (C + c)
+    const float lambda = static_cast<float>(static_cast<double>(sample_count) /
+                                            static_cast<double>(new_total));
+    avg_->scale(1.0f - lambda);
+    avg_->axpy(lambda, *params);
+  }
+  total_samples_ = new_total;
+}
+
+std::shared_ptr<const ml::Tensor> FedAvgAccumulator::result() const {
+  return avg_;
+}
+
+ModelUpdate FedAvgAccumulator::make_update(std::uint32_t model_version,
+                                           ParticipantId producer,
+                                           std::size_t logical_bytes) const {
+  ModelUpdate u;
+  u.model_version = model_version;
+  u.producer = producer;
+  u.sample_count = total_samples_;
+  u.updates_folded = updates_folded_;
+  u.logical_bytes = logical_bytes;
+  u.tensor = avg_;
+  return u;
+}
+
+void FedAvgAccumulator::reset() {
+  avg_.reset();
+  total_samples_ = 0;
+  updates_folded_ = 0;
+}
+
+ml::Tensor FedAvgAccumulator::batch_average(
+    const std::vector<std::pair<const ml::Tensor*, std::uint64_t>>& updates) {
+  if (updates.empty()) return {};
+  ml::Tensor out(updates.front().first->size(), 0.0f);
+  double total = 0.0;
+  for (const auto& [t, c] : updates) total += static_cast<double>(c);
+  for (const auto& [t, c] : updates) {
+    out.axpy(static_cast<float>(static_cast<double>(c) / total), *t);
+  }
+  return out;
+}
+
+}  // namespace lifl::fl

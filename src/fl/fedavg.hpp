@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/fl/model_update.hpp"
+#include "src/ml/tensor.hpp"
+
+namespace lifl::fl {
+
+/// Streaming FedAvg (Eq. 1): maintains the running sample-weighted average
+/// of the updates added so far.
+///
+/// The cumulative form
+///     avg_k = avg_{k-1} + (w_k - avg_{k-1}) * c_k / (C_{k-1} + c_k)
+/// is algebraically identical to the batch weighted mean, which is what
+/// makes *eager* aggregation (§2.1, §5.4) possible: updates can be folded in
+/// as they arrive, in any order, and the result equals lazy batch
+/// aggregation. The accumulator also works on logical-only updates (no
+/// tensor), where it just tracks weights and counts — the system-simulation
+/// mode.
+class FedAvgAccumulator {
+ public:
+  /// Fold one update into the running average.
+  void add(const ModelUpdate& update);
+
+  /// Fold a raw (tensor, weight) pair.
+  void add(const std::shared_ptr<const ml::Tensor>& params,
+           std::uint64_t sample_count);
+
+  /// Number of updates folded in (counting folded sub-updates).
+  std::uint32_t updates_folded() const noexcept { return updates_folded_; }
+
+  /// Total sample weight aggregated so far (T of Eq. 1).
+  std::uint64_t total_samples() const noexcept { return total_samples_; }
+
+  /// The running weighted average; null if only logical updates were added.
+  std::shared_ptr<const ml::Tensor> result() const;
+
+  /// Produce the intermediate/final ModelUpdate for this aggregate.
+  ModelUpdate make_update(std::uint32_t model_version, ParticipantId producer,
+                          std::size_t logical_bytes) const;
+
+  /// Clear all state (aggregators are stateless across rounds).
+  void reset();
+
+  /// Reference batch implementation: weighted mean of (tensor, weight)
+  /// pairs. Used by tests to prove eager == lazy and hierarchical == flat.
+  static ml::Tensor batch_average(
+      const std::vector<std::pair<const ml::Tensor*, std::uint64_t>>& updates);
+
+ private:
+  void add_tensor_weighted(const std::shared_ptr<const ml::Tensor>& params,
+                           std::uint64_t sample_count);
+
+  std::shared_ptr<ml::Tensor> avg_;  ///< owned mutable running average
+  std::uint64_t total_samples_ = 0;
+  std::uint32_t updates_folded_ = 0;
+};
+
+}  // namespace lifl::fl

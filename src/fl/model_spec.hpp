@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace lifl::fl {
+
+/// Static description of a trainable model as the platform sees it: a name
+/// and a flat parameter count. The data plane only cares about `bytes()` —
+/// a model update is `param_count` float32 values on the wire.
+struct ModelSpec {
+  std::string name;
+  std::size_t param_count = 0;
+
+  /// Payload size of one model update (float32 parameters).
+  std::size_t bytes() const noexcept { return param_count * 4; }
+};
+
+namespace models {
+
+/// ResNet-18: 11.69M parameters, ~46.8 MB update (paper: "~44MB").
+inline ModelSpec resnet18() { return {"resnet18", 11'689'512}; }
+
+/// ResNet-34: 21.80M parameters, ~87.2 MB update (paper: "~83MB").
+inline ModelSpec resnet34() { return {"resnet34", 21'797'672}; }
+
+/// ResNet-152: 60.19M parameters, ~240.8 MB update (paper: "~232MB").
+inline ModelSpec resnet152() { return {"resnet152", 60'192'808}; }
+
+/// A small MLP with a real in-process parameter tensor (quickstart/tests).
+inline ModelSpec mlp(std::size_t param_count) {
+  return {"mlp", param_count};
+}
+
+}  // namespace models
+
+}  // namespace lifl::fl

@@ -1,0 +1,84 @@
+#include "src/fl/server_optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lifl::fl {
+
+std::string to_string(ServerOptimizerKind kind) {
+  switch (kind) {
+    case ServerOptimizerKind::kFedAvg: return "FedAvg";
+    case ServerOptimizerKind::kFedAvgM: return "FedAvgM";
+    case ServerOptimizerKind::kFedAdagrad: return "FedAdagrad";
+    case ServerOptimizerKind::kFedYogi: return "FedYogi";
+    case ServerOptimizerKind::kFedAdam: return "FedAdam";
+  }
+  return "unknown";
+}
+
+void ServerOptimizer::step(ml::Tensor& global, const ml::Tensor& round_avg) {
+  if (global.size() != round_avg.size()) {
+    throw std::invalid_argument("ServerOptimizer::step: size mismatch");
+  }
+  const std::size_t n = global.size();
+  ++rounds_;
+
+  if (cfg_.kind == ServerOptimizerKind::kFedAvg) {
+    // Plain FedAvg: the average *is* the next global model.
+    global = round_avg;
+    return;
+  }
+
+  // Pseudo-gradient of the round.
+  ml::Tensor delta(n);
+  for (std::size_t i = 0; i < n; ++i) delta[i] = round_avg[i] - global[i];
+
+  if (momentum_.size() != n) momentum_ = ml::Tensor(n, 0.0f);
+  const auto beta1 = static_cast<float>(cfg_.beta1);
+  for (std::size_t i = 0; i < n; ++i) {
+    momentum_[i] = beta1 * momentum_[i] + (1.0f - beta1) * delta[i];
+  }
+  // Adam-style bias correction: without it the momentum estimate starts at
+  // (1-beta1) of the true pseudo-gradient and needs ~1/(1-beta1) rounds to
+  // ramp — far too slow for FL where rounds are expensive.
+  const auto bias1 = static_cast<float>(
+      1.0 - std::pow(cfg_.beta1, static_cast<double>(rounds_)));
+
+  const auto lr = static_cast<float>(cfg_.lr);
+  if (cfg_.kind == ServerOptimizerKind::kFedAvgM) {
+    global.axpy(lr / bias1, momentum_);
+    return;
+  }
+
+  // Adaptive kinds maintain a per-parameter second moment v_t.
+  if (second_moment_.size() != n) second_moment_ = ml::Tensor(n, 0.0f);
+  const auto beta2 = static_cast<float>(cfg_.beta2);
+  const auto tau = static_cast<float>(cfg_.tau);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d2 = delta[i] * delta[i];
+    float& v = second_moment_[i];
+    switch (cfg_.kind) {
+      case ServerOptimizerKind::kFedAdagrad:
+        v += d2;
+        break;
+      case ServerOptimizerKind::kFedYogi:
+        v -= (1.0f - beta2) * d2 * (v - d2 > 0.0f ? 1.0f : -1.0f);
+        break;
+      case ServerOptimizerKind::kFedAdam:
+        v = beta2 * v + (1.0f - beta2) * d2;
+        break;
+      case ServerOptimizerKind::kFedAvg:
+      case ServerOptimizerKind::kFedAvgM:
+        break;  // unreachable
+    }
+    global[i] += lr * (momentum_[i] / bias1) / (std::sqrt(v) + tau);
+  }
+}
+
+void ServerOptimizer::reset() {
+  momentum_ = ml::Tensor{};
+  second_moment_ = ml::Tensor{};
+  rounds_ = 0;
+}
+
+}  // namespace lifl::fl

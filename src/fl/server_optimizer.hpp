@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/ml/tensor.hpp"
+
+namespace lifl::fl {
+
+/// Server-side optimizer family from "Adaptive Federated Optimization"
+/// (Reddi et al., 2020) — the FL-algorithm layer the paper positions LIFL
+/// as the system substrate for (§7: "these efforts are orthogonal to LIFL
+/// ... LIFL [is] a good complement ... to bring various FL approaches to
+/// the ground").
+///
+/// Each round, the aggregation hierarchy produces the weighted-average
+/// client model x_avg (FedAvg, Eq. 1). The server treats the pseudo-
+/// gradient Δ_t = x_avg − x_t as a descent direction and applies a
+/// first-order update with optional adaptivity:
+///
+///   FedAvg     : x_{t+1} = x_t + Δ_t                  (plain averaging)
+///   FedAvgM    : m_t = β1 m_{t-1} + Δ_t;  x_{t+1} = x_t + η m_t
+///   FedAdagrad : v_t = v_{t-1} + Δ_t²
+///   FedYogi    : v_t = v_{t-1} − (1−β2) Δ_t² sign(v_{t-1} − Δ_t²)
+///   FedAdam    : v_t = β2 v_{t-1} + (1−β2) Δ_t²
+///   (adaptive) : x_{t+1} = x_t + η m_t / (sqrt(v_t) + τ)
+///
+/// All state lives on the server between rounds; aggregators stay stateless
+/// exactly as LIFL requires.
+enum class ServerOptimizerKind : std::uint8_t {
+  kFedAvg,      ///< apply the average directly (McMahan et al., 2017)
+  kFedAvgM,     ///< server momentum
+  kFedAdagrad,  ///< adaptive, accumulated second moment
+  kFedYogi,     ///< adaptive, sign-controlled second moment
+  kFedAdam,     ///< adaptive, EWMA second moment
+};
+
+std::string to_string(ServerOptimizerKind kind);
+
+/// Applies a server optimizer step per aggregation round.
+class ServerOptimizer {
+ public:
+  struct Config {
+    ServerOptimizerKind kind = ServerOptimizerKind::kFedAvg;
+    double lr = 1.0;        ///< server learning rate η
+    double beta1 = 0.9;     ///< first-moment decay
+    double beta2 = 0.99;    ///< second-moment decay (adaptive kinds)
+    double tau = 1e-3;      ///< adaptivity degree (denominator floor)
+  };
+
+  explicit ServerOptimizer(Config cfg) : cfg_(cfg) {}
+
+  /// One round: fold the aggregated average `round_avg` into the global
+  /// model `global` (updated in place). Both tensors must be equal-sized.
+  void step(ml::Tensor& global, const ml::Tensor& round_avg);
+
+  /// Rounds applied so far.
+  std::uint32_t rounds() const noexcept { return rounds_; }
+  const Config& config() const noexcept { return cfg_; }
+
+  /// Drop all optimizer state (momentum / second moments).
+  void reset();
+
+ private:
+  Config cfg_;
+  ml::Tensor momentum_;       ///< m_t
+  ml::Tensor second_moment_;  ///< v_t
+  std::uint32_t rounds_ = 0;
+};
+
+}  // namespace lifl::fl

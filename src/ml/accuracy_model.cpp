@@ -1,0 +1,24 @@
+#include "src/ml/accuracy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lifl::ml {
+
+double AccuracyModel::mean_accuracy(std::uint32_t round) const noexcept {
+  return a_max_ * (1.0 - std::exp(-static_cast<double>(round) / tau_));
+}
+
+double AccuracyModel::sample_accuracy(std::uint32_t round,
+                                      sim::Rng& rng) const noexcept {
+  const double a = mean_accuracy(round) + rng.normal(0.0, noise_);
+  return std::clamp(a, 0.0, 1.0);
+}
+
+std::uint32_t AccuracyModel::rounds_to_accuracy(double target) const noexcept {
+  if (target >= a_max_) return 0;
+  const double r = -tau_ * std::log(1.0 - target / a_max_);
+  return static_cast<std::uint32_t>(std::ceil(r));
+}
+
+}  // namespace lifl::ml

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/random.hpp"
+
+namespace lifl::ml {
+
+/// Calibrated accuracy-vs-round curve for the heavyweight ResNet/FEMNIST
+/// workloads (substitution for real GPU training; see DESIGN.md §1).
+///
+/// Synchronous FedAvg produces the *same* accuracy trajectory regardless of
+/// which platform (SF/SL/LIFL) aggregates it — the platforms differ only in
+/// wall-clock and CPU cost per round. The paper's Fig. 9 comparisons are
+/// therefore preserved exactly by giving every system one shared curve and
+/// letting per-round *system* time come out of the simulator.
+///
+/// Shape: acc(r) = a_max * (1 - exp(-r / tau)), a saturating curve fit to
+/// the paper's anchors (70% reached near the round counts implied by LIFL's
+/// measured per-round time and time-to-70%).
+class AccuracyModel {
+ public:
+  AccuracyModel(double a_max, double tau, double noise_stddev = 0.004)
+      : a_max_(a_max), tau_(tau), noise_(noise_stddev) {}
+
+  /// ResNet-18 on FEMNIST: saturates ~82%, 70% around round ~34. The round
+  /// count is anchored so that LIFL's measured per-round time (~98 s under
+  /// the §6.2 mobile-client workload) lands on the paper's 0.9 h to 70%.
+  static AccuracyModel resnet18_femnist() { return {0.82, 17.2}; }
+
+  /// ResNet-152 on FEMNIST: saturates ~80%, 70% around round ~107, anchored
+  /// so LIFL's measured ~64 s rounds land on the paper's 1.9 h to 70%.
+  static AccuracyModel resnet152_femnist() { return {0.80, 51.2}; }
+
+  /// Mean accuracy after `round` completed rounds (round 0 => untrained).
+  double mean_accuracy(std::uint32_t round) const noexcept;
+
+  /// Accuracy sample with bounded evaluation noise.
+  double sample_accuracy(std::uint32_t round, sim::Rng& rng) const noexcept;
+
+  /// Smallest round count whose mean accuracy reaches `target`;
+  /// returns 0 if unreachable (target >= a_max).
+  std::uint32_t rounds_to_accuracy(double target) const noexcept;
+
+  double a_max() const noexcept { return a_max_; }
+  double tau() const noexcept { return tau_; }
+
+ private:
+  double a_max_;
+  double tau_;
+  double noise_;
+};
+
+}  // namespace lifl::ml

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ml/dataset.hpp"
+#include "src/ml/tensor.hpp"
+#include "src/sim/random.hpp"
+
+namespace lifl::ml {
+
+/// Multi-layer perceptron with ReLU hidden layers and a softmax
+/// cross-entropy head, over a *flat* parameter vector.
+///
+/// The flat layout is the point: an FL model update is exactly this
+/// parameter tensor, so the aggregation plane treats MLPs and (simulated)
+/// ResNets identically — both are weighted averages of flat float vectors.
+class Mlp {
+ public:
+  /// `dims` = {input, hidden..., classes}; at least {input, classes}.
+  explicit Mlp(std::vector<std::size_t> dims);
+
+  /// Number of parameters (weights + biases across all layers).
+  std::size_t param_count() const noexcept { return param_count_; }
+
+  /// He-initialize parameters.
+  void init(sim::Rng& rng);
+
+  const Tensor& params() const noexcept { return params_; }
+  Tensor& mutable_params() noexcept { return params_; }
+  void set_params(const Tensor& p);
+
+  /// Forward pass over one example; returns class logits.
+  std::vector<float> logits(const float* x) const;
+
+  /// Predicted class of one example.
+  int predict(const float* x) const;
+
+  /// Mean cross-entropy loss over a dataset.
+  double loss(const Dataset& data) const;
+
+  /// Classification accuracy over a dataset, in [0, 1].
+  double accuracy(const Dataset& data) const;
+
+  /// Mean gradient of the cross-entropy loss over the examples with indices
+  /// `idx` in `data`, written to `grad` (resized to `param_count()`).
+  /// Returns the mean loss over the batch.
+  double gradient(const Dataset& data, const std::vector<std::size_t>& idx,
+                  Tensor& grad) const;
+
+  /// One SGD step: params -= lr * grad.
+  void sgd_step(const Tensor& grad, float lr);
+
+  const std::vector<std::size_t>& dims() const noexcept { return dims_; }
+
+ private:
+  struct Layer {
+    std::size_t in = 0, out = 0;
+    std::size_t w_off = 0, b_off = 0;  ///< offsets into the flat tensor
+  };
+
+  // Forward pass keeping activations for backprop.
+  void forward(const float* x, std::vector<std::vector<float>>& acts) const;
+
+  std::vector<std::size_t> dims_;
+  std::vector<Layer> layers_;
+  std::size_t param_count_ = 0;
+  Tensor params_;
+};
+
+}  // namespace lifl::ml

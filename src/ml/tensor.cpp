@@ -1,0 +1,58 @@
+#include "src/ml/tensor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lifl::ml {
+
+Tensor Tensor::randn(sim::Rng& rng, std::size_t n, float stddev) {
+  Tensor t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.data_[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+void Tensor::axpy(float a, const Tensor& x) {
+  if (x.size() != size()) {
+    throw std::invalid_argument("Tensor::axpy: size mismatch");
+  }
+  float* __restrict p = data_.data();
+  const float* __restrict q = x.data_.data();
+  const std::size_t n = data_.size();
+  for (std::size_t i = 0; i < n; ++i) p[i] += a * q[i];
+}
+
+void Tensor::scale(float a) noexcept {
+  for (auto& v : data_) v *= a;
+}
+
+void Tensor::fill(float value) noexcept {
+  for (auto& v : data_) v = value;
+}
+
+double Tensor::dot(const Tensor& x) const {
+  if (x.size() != size()) {
+    throw std::invalid_argument("Tensor::dot: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    acc += static_cast<double>(data_[i]) * static_cast<double>(x.data_[i]);
+  }
+  return acc;
+}
+
+double Tensor::l2norm() const { return std::sqrt(dot(*this)); }
+
+double Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("Tensor::max_abs_diff: size mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+}  // namespace lifl::ml

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/random.hpp"
+
+namespace lifl::ml {
+
+/// Dense float32 vector — the flat parameter/update representation that
+/// FedAvg aggregates.
+///
+/// Model updates in FL are (weighted) linear combinations of parameter
+/// vectors, so a flat tensor plus BLAS-1 operations is the entire algebra
+/// the aggregation plane needs. Kept deliberately simple and value-semantic.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::size_t n, float value = 0.0f) : data_(n, value) {}
+
+  /// Gaussian-initialized tensor (e.g. He/Xavier-style scaled by caller).
+  static Tensor randn(sim::Rng& rng, std::size_t n, float stddev);
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// Bytes of the parameter payload (what travels as a model update).
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(float); }
+
+  /// this += a * x. Sizes must match.
+  void axpy(float a, const Tensor& x);
+
+  /// this *= a.
+  void scale(float a) noexcept;
+
+  /// Set every element to `value`.
+  void fill(float value) noexcept;
+
+  /// Dot product. Sizes must match.
+  double dot(const Tensor& x) const;
+
+  /// Euclidean norm.
+  double l2norm() const;
+
+  /// Max |a_i - b_i| between two tensors. Sizes must match.
+  static double max_abs_diff(const Tensor& a, const Tensor& b);
+
+  bool operator==(const Tensor& o) const noexcept { return data_ == o.data_; }
+
+ private:
+  std::vector<float> data_;
+};
+
+}  // namespace lifl::ml

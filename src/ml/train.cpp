@@ -1,0 +1,36 @@
+#include "src/ml/train.hpp"
+
+#include <numeric>
+
+namespace lifl::ml {
+
+LocalUpdate local_train(const Mlp& architecture, const Tensor& global_params,
+                        const Dataset& shard, const LocalTrainConfig& cfg,
+                        sim::Rng& rng) {
+  Mlp model(architecture.dims());
+  model.set_params(global_params);
+
+  std::vector<std::size_t> order(shard.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  Tensor grad(model.param_count());
+  double last_loss = 0.0;
+  for (std::size_t e = 0; e < cfg.epochs; ++e) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += cfg.batch_size) {
+      const std::size_t end = std::min(start + cfg.batch_size, order.size());
+      const std::vector<std::size_t> batch(order.begin() + start,
+                                           order.begin() + end);
+      last_loss = model.gradient(shard, batch, grad);
+      model.sgd_step(grad, cfg.learning_rate);
+    }
+  }
+
+  LocalUpdate out;
+  out.params = model.params();
+  out.sample_count = shard.size();
+  out.train_loss = last_loss;
+  return out;
+}
+
+}  // namespace lifl::ml

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/ml/dataset.hpp"
+#include "src/ml/mlp.hpp"
+#include "src/ml/tensor.hpp"
+#include "src/sim/random.hpp"
+
+namespace lifl::ml {
+
+/// Hyperparameters of one client's local training (§6.2: SGD, batch size 32,
+/// one local epoch, learning rate 0.01).
+struct LocalTrainConfig {
+  std::size_t epochs = 1;
+  std::size_t batch_size = 32;
+  float learning_rate = 0.01f;
+};
+
+/// Result of local training: the new parameters and the sample count that
+/// weights them in FedAvg (the auxiliary information A_k of Eq. 1).
+struct LocalUpdate {
+  Tensor params;
+  std::size_t sample_count = 0;
+  double train_loss = 0.0;
+};
+
+/// Run local SGD from `global_params` on `shard`; pure function of its
+/// inputs plus the RNG stream (mini-batch shuffling).
+LocalUpdate local_train(const Mlp& architecture, const Tensor& global_params,
+                        const Dataset& shard, const LocalTrainConfig& cfg,
+                        sim::Rng& rng);
+
+}  // namespace lifl::ml

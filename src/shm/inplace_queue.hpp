@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "src/shm/object_key.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace lifl::shm {
+
+/// In-place message queue (§4.2): a FIFO of *object keys* whose payloads stay
+/// put in the shared-memory store.
+///
+/// This is the multiple-producer / single-consumer queue in front of each
+/// aggregator (Fig. 14): the gateway (or a lower-level aggregator via SKMSG)
+/// pushes keys; the aggregator's Recv step pops them. Because only 16-byte
+/// keys move, enqueueing is free of data copies — the "in-place" property
+/// that eliminates the dedicated broker queue of baseline serverless stacks.
+///
+/// Popping is event-driven: a consumer registers a waiter and is woken as
+/// soon as a key arrives (enabling eager aggregation); keys that arrive with
+/// no waiter are buffered, and per-key queueing delay is tracked.
+class InPlaceQueue {
+ public:
+  using Waiter = std::function<void(ObjectKey)>;
+
+  explicit InPlaceQueue(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Enqueue a key. If a consumer is waiting, it is scheduled to run at the
+  /// current instant (still via the event queue, preserving determinism).
+  void push(ObjectKey key) {
+    ++total_pushed_;
+    if (!waiters_.empty()) {
+      Waiter w = std::move(waiters_.front());
+      waiters_.pop_front();
+      sim_.schedule_after(0.0, [w = std::move(w), key]() { w(key); });
+      return;
+    }
+    entries_.push_back(Entry{key, sim_.now()});
+    max_depth_ = std::max(max_depth_, entries_.size());
+  }
+
+  /// Synchronously pop if non-empty. Returns false otherwise.
+  bool try_pop(ObjectKey& out) {
+    if (entries_.empty()) return false;
+    out = take_front();
+    return true;
+  }
+
+  /// Pop asynchronously: `w` fires with the next key — immediately (as an
+  /// event at the current instant) if one is buffered, otherwise when the
+  /// next push happens. Waiters are served FIFO.
+  void pop_async(Waiter w) {
+    if (!entries_.empty()) {
+      const ObjectKey key = take_front();
+      sim_.schedule_after(0.0, [w = std::move(w), key]() { w(key); });
+      return;
+    }
+    waiters_.push_back(std::move(w));
+  }
+
+  std::size_t depth() const noexcept { return entries_.size(); }
+  std::size_t waiter_count() const noexcept { return waiters_.size(); }
+  std::size_t max_depth() const noexcept { return max_depth_; }
+  std::uint64_t total_pushed() const noexcept { return total_pushed_; }
+
+  /// Sum over popped keys of time spent buffered (seconds).
+  double total_queueing_delay() const noexcept { return total_delay_; }
+
+ private:
+  struct Entry {
+    ObjectKey key;
+    double enqueued_at;
+  };
+
+  ObjectKey take_front() {
+    Entry e = entries_.front();
+    entries_.pop_front();
+    total_delay_ += sim_.now() - e.enqueued_at;
+    return e.key;
+  }
+
+  sim::Simulator& sim_;
+  std::deque<Entry> entries_;
+  std::deque<Waiter> waiters_;
+  std::size_t max_depth_ = 0;
+  std::uint64_t total_pushed_ = 0;
+  double total_delay_ = 0.0;
+};
+
+}  // namespace lifl::shm

@@ -1,0 +1,25 @@
+#include "src/sim/cpu_accounting.hpp"
+
+namespace lifl::sim {
+
+std::string_view to_string(CostTag tag) noexcept {
+  switch (tag) {
+    case CostTag::kAggregator: return "aggregator";
+    case CostTag::kGateway: return "gateway";
+    case CostTag::kKernelNet: return "kernel_net";
+    case CostTag::kSerialization: return "serialization";
+    case CostTag::kSidecarContainer: return "sidecar_container";
+    case CostTag::kSidecarEbpf: return "sidecar_ebpf";
+    case CostTag::kBroker: return "broker";
+    case CostTag::kStartup: return "startup";
+    case CostTag::kTraining: return "training";
+    case CostTag::kEvaluation: return "evaluation";
+    case CostTag::kControlPlane: return "control_plane";
+    case CostTag::kCheckpoint: return "checkpoint";
+    case CostTag::kIdleReservation: return "idle_reservation";
+    case CostTag::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace lifl::sim

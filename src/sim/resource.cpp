@@ -1,0 +1,81 @@
+#include "src/sim/resource.hpp"
+
+#include <utility>
+
+namespace lifl::sim {
+
+Resource::Resource(Simulator& sim, std::string name, std::uint32_t capacity)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity) {
+  last_change_ = sim_.now();
+  stats_epoch_ = sim_.now();
+}
+
+void Resource::account() noexcept {
+  const SimTime now = sim_.now();
+  busy_integral_ += static_cast<double>(busy_) * (now - last_change_);
+  last_change_ = now;
+}
+
+void Resource::acquire(SimTime service_time, Callback on_complete) {
+  Job job{service_time < 0 ? 0 : service_time, sim_.now(), std::move(on_complete)};
+  if (busy_ < capacity_) {
+    start(std::move(job));
+  } else {
+    queue_.push_back(std::move(job));
+  }
+}
+
+void Resource::start(Job job) {
+  account();
+  ++busy_;
+  total_wait_ += sim_.now() - job.enqueued_at;
+  // Move the callback into the completion event; `this` outlives the
+  // simulation by construction (resources are owned by nodes/the cluster).
+  sim_.schedule_after(job.service, [this, done = std::move(job.done)]() mutable {
+    on_finish();
+    if (done) done();
+  });
+}
+
+void Resource::on_finish() {
+  account();
+  --busy_;
+  ++completed_;
+  while (busy_ < capacity_ && !queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(next));
+  }
+}
+
+void Resource::set_capacity(std::uint32_t capacity) {
+  account();
+  capacity_ = capacity;
+  while (busy_ < capacity_ && !queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(next));
+  }
+}
+
+SimTime Resource::busy_time() const noexcept {
+  const SimTime now = sim_.now();
+  return busy_integral_ + static_cast<double>(busy_) * (now - last_change_) -
+         0.0;
+}
+
+double Resource::utilization() const noexcept {
+  const SimTime window = sim_.now() - stats_epoch_;
+  if (window <= 0 || capacity_ == 0) return 0.0;
+  return busy_time() / (window * static_cast<double>(capacity_));
+}
+
+void Resource::reset_stats() noexcept {
+  account();
+  busy_integral_ = 0.0;
+  total_wait_ = 0.0;
+  completed_ = 0;
+  stats_epoch_ = sim_.now();
+}
+
+}  // namespace lifl::sim

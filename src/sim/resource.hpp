@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/sim/simulator.hpp"
+#include "src/sim/time.hpp"
+
+namespace lifl::sim {
+
+/// A FIFO multi-server resource: up to `capacity` jobs in service, the rest
+/// queued in arrival order.
+///
+/// Used to model every point of contention in the platform: a node's core
+/// pool, the kernel network-processing budget (the contention behind Fig. 4),
+/// the NIC wire, and the gateway's assigned cores (vertically scaled, §4.2).
+/// Utilization and waiting statistics are tracked exactly (piecewise-constant
+/// integrals), which the benches use for CPU-utilization figures.
+class Resource {
+ public:
+  using Callback = std::function<void()>;
+
+  Resource(Simulator& sim, std::string name, std::uint32_t capacity);
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Submit a job needing `service_time` seconds of a server; `on_complete`
+  /// fires when the job finishes service. Zero-duration jobs still respect
+  /// FIFO order.
+  void acquire(SimTime service_time, Callback on_complete);
+
+  /// Change the number of servers (vertical scaling). Growing starts queued
+  /// jobs immediately; shrinking lets in-service jobs finish (no preemption).
+  void set_capacity(std::uint32_t capacity);
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+  std::uint32_t busy() const noexcept { return busy_; }
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+
+  /// Completed job count.
+  std::uint64_t completed() const noexcept { return completed_; }
+
+  /// Integral of (number of busy servers) dt — i.e. total server-seconds of
+  /// service delivered up to now.
+  SimTime busy_time() const noexcept;
+
+  /// Total time jobs spent waiting in queue (sum over jobs).
+  SimTime total_wait_time() const noexcept { return total_wait_; }
+
+  /// Mean utilization in [0, 1] over the window since construction/reset.
+  double utilization() const noexcept;
+
+  /// Reset statistics (not the queue/in-service jobs).
+  void reset_stats() noexcept;
+
+ private:
+  struct Job {
+    SimTime service;
+    SimTime enqueued_at;
+    Callback done;
+  };
+
+  void start(Job job);
+  void on_finish();
+  void account() noexcept;
+
+  Simulator& sim_;
+  std::string name_;
+  std::uint32_t capacity_;
+  std::uint32_t busy_ = 0;
+  std::deque<Job> queue_;
+  std::uint64_t completed_ = 0;
+
+  // Piecewise-constant busy integral.
+  mutable SimTime busy_integral_ = 0.0;
+  mutable SimTime last_change_ = 0.0;
+  SimTime stats_epoch_ = 0.0;
+  SimTime total_wait_ = 0.0;
+};
+
+}  // namespace lifl::sim

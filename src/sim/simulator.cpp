@@ -1,0 +1,60 @@
+#include "src/sim/simulator.hpp"
+
+#include <utility>
+
+namespace lifl::sim {
+
+EventId Simulator::schedule_impl(SimTime t, Callback cb, bool daemon) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  callbacks_.emplace(id, Pending{std::move(cb), daemon});
+  if (!daemon) ++regular_pending_;
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  if (!it->second.daemon) --regular_pending_;
+  callbacks_.erase(it);  // lazy removal from the heap
+  return true;
+}
+
+bool Simulator::dispatch_next(SimTime limit, bool bounded) {
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // cancelled
+      continue;
+    }
+    if (bounded && e.t > limit) return false;
+    heap_.pop();
+    Callback cb = std::move(it->second.cb);
+    if (!it->second.daemon) --regular_pending_;
+    callbacks_.erase(it);
+    now_ = e.t;
+    ++dispatched_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() { return dispatch_next(0, /*bounded=*/false); }
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (regular_pending_ > 0 && dispatch_next(0, /*bounded=*/false)) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime t) {
+  std::size_t n = 0;
+  while (dispatch_next(t, /*bounded=*/true)) ++n;
+  if (t > now_) now_ = t;
+  return n;
+}
+
+}  // namespace lifl::sim

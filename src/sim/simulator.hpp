@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace lifl::sim {
+
+/// Discrete-event simulator: a virtual clock plus an event queue.
+///
+/// Events scheduled for the same instant run in scheduling order (FIFO
+/// tie-breaking on a monotonically increasing sequence number), which makes
+/// runs fully deterministic. Callbacks may schedule or cancel further events,
+/// including at the current instant.
+///
+/// *Daemon* events model background periodic work (metrics polling,
+/// samplers): they execute normally while regular events exist, but do not
+/// by themselves keep `run()` alive — exactly like daemon threads.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (seconds).
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (clamped to `now()` if in the past).
+  EventId schedule_at(SimTime t, Callback cb) {
+    return schedule_impl(t, std::move(cb), /*daemon=*/false);
+  }
+
+  /// Schedule `cb` after a relative delay `dt >= 0`.
+  EventId schedule_after(SimTime dt, Callback cb) {
+    return schedule_at(now_ + (dt > 0 ? dt : 0), std::move(cb));
+  }
+
+  /// Schedule a daemon event: runs like a normal event but does not keep
+  /// `run()` going once all regular events have drained.
+  EventId schedule_daemon_at(SimTime t, Callback cb) {
+    return schedule_impl(t, std::move(cb), /*daemon=*/true);
+  }
+
+  /// Daemon variant of `schedule_after`.
+  EventId schedule_daemon_after(SimTime dt, Callback cb) {
+    return schedule_daemon_at(now_ + (dt > 0 ? dt : 0), std::move(cb));
+  }
+
+  /// Cancel a pending event. Returns false if it already ran or was cancelled.
+  bool cancel(EventId id);
+
+  /// Run a single event (daemon or not). Returns false if the queue is empty.
+  bool step();
+
+  /// Run until no regular (non-daemon) events remain; returns the number of
+  /// events dispatched (daemons included).
+  std::size_t run();
+
+  /// Run events with time <= `t` (regular and daemon), then set the clock
+  /// to `t`. Returns the number of events dispatched.
+  std::size_t run_until(SimTime t);
+
+  /// Number of pending (non-cancelled) events, daemons included.
+  std::size_t pending() const noexcept { return callbacks_.size(); }
+
+  /// Number of pending regular (non-daemon) events.
+  std::size_t pending_regular() const noexcept { return regular_pending_; }
+
+  /// Total events dispatched so far.
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+  struct Pending {
+    Callback cb;
+    bool daemon = false;
+  };
+
+  EventId schedule_impl(SimTime t, Callback cb, bool daemon);
+  bool dispatch_next(SimTime limit, bool bounded);
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::size_t regular_pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Pending> callbacks_;
+};
+
+}  // namespace lifl::sim

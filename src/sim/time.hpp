@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace lifl::sim {
+
+/// Simulated time, in seconds since the start of the simulation.
+///
+/// The simulator is a discrete-event engine: time only advances when the
+/// event queue dispatches the next event, so a `SimTime` never refers to
+/// wall-clock time.
+using SimTime = double;
+
+/// Identifier of a scheduled event; used to cancel pending events.
+using EventId = std::uint64_t;
+
+/// Identifier of a worker node in the simulated cluster.
+using NodeId = std::uint32_t;
+
+/// Convert seconds to milliseconds (display helper).
+constexpr double to_millis(SimTime t) noexcept { return t * 1e3; }
+
+/// Convert seconds to hours (display helper).
+constexpr double to_hours(SimTime t) noexcept { return t / 3600.0; }
+
+}  // namespace lifl::sim

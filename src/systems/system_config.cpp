@@ -1,0 +1,105 @@
+#include "src/systems/system_config.hpp"
+
+namespace lifl::sys {
+
+namespace calib = sim::calib;
+
+SystemConfig make_lifl() {
+  SystemConfig c;
+  c.name = "LIFL";
+  c.plane = dp::lifl_plane();
+  c.placement = ctrl::PlacementPolicy::kBestFit;
+  c.scaling = ScalingMode::kHierarchyAware;
+  c.reuse = true;
+  c.timing = fl::AggTiming::kEager;
+  c.top = TopPlacement::kColocated;
+  c.updates_per_leaf = calib::kUpdatesPerLeaf;
+  c.cold_start_secs = calib::kLiflColdStartSecs;
+  c.cold_start_cycles = calib::kLiflColdStartCycles;
+  return c;
+}
+
+SystemConfig make_serverful() {
+  SystemConfig c;
+  c.name = "SF";
+  c.plane = dp::serverful_plane();
+  // The serverful stack spreads clients across its fixed aggregator fleet
+  // and aggregates each round as a batch (Bonawitz et al.).
+  c.placement = ctrl::PlacementPolicy::kWorstFit;
+  c.scaling = ScalingMode::kAlwaysOn;
+  c.reuse = true;  // the static fleet is permanently warm
+  c.timing = fl::AggTiming::kLazy;
+  c.top = TopPlacement::kDedicatedNode;
+  // A static deployment cannot re-shard per round; its trees are coarser
+  // than LIFL's load-tailored I=2 (provisioned for capacity, not latency).
+  c.updates_per_leaf = 4;
+  c.cold_start_secs = 0.0;
+  c.cold_start_cycles = 0.0;
+  return c;
+}
+
+SystemConfig make_serverless() {
+  SystemConfig c;
+  c.name = "SL";
+  c.plane = dp::serverless_plane();
+  c.placement = ctrl::PlacementPolicy::kWorstFit;  // least-connection
+  c.scaling = ScalingMode::kReactive;
+  c.reuse = false;
+  c.timing = fl::AggTiming::kLazy;
+  c.top = TopPlacement::kDedicatedNode;
+  // Threshold autoscaling sizes aggregators to a concurrency target
+  // (aut, 2023a/b), agnostic of the aggregation hierarchy: coarse fan-in.
+  c.updates_per_leaf = 10;
+  // Reactive scale-from-zero: autoscaler reaction window + pod cold start,
+  // paid per level of the chain (§2.3 cascading cold starts); pod startup
+  // burns full framework-import CPU (§6.3 attributes SL's CPU cost largely
+  // to start-up).
+  c.cold_start_secs =
+      calib::kKnativeReactionSecs + calib::kContainerColdStartSecs;
+  c.cold_start_cycles = calib::kKnativePodStartCycles;
+  c.container_sidecar_idle = true;
+  return c;
+}
+
+SystemConfig make_sl_h() {
+  SystemConfig c;
+  c.name = "SL-H";
+  // Same data plane as LIFL (§6.1: "SL-H employs LIFL's shared memory data
+  // plane"), baseline Knative control plane on top.
+  c.plane = dp::lifl_plane();
+  c.placement = ctrl::PlacementPolicy::kWorstFit;  // "Least Connection"
+  c.scaling = ScalingMode::kReactive;
+  c.reuse = false;
+  c.timing = fl::AggTiming::kLazy;
+  c.top = TopPlacement::kDedicatedNode;
+  c.updates_per_leaf = calib::kUpdatesPerLeaf;
+  c.cold_start_secs = calib::kContainerColdStartSecs;
+  c.cold_start_cycles = calib::kContainerColdStartCycles;
+  return c;
+}
+
+SystemConfig make_lifl_ablation(bool p1_placement, bool p2_planning,
+                                bool p3_reuse, bool p4_eager) {
+  SystemConfig c = make_sl_h();
+  c.name = "SL-H";
+  if (p1_placement) {
+    c.name += "+p1";
+    c.placement = ctrl::PlacementPolicy::kBestFit;
+    c.top = TopPlacement::kColocated;  // locality: top rides the data
+  }
+  if (p2_planning) {
+    c.name += "+p2";
+    c.scaling = ScalingMode::kHierarchyAware;  // pre-planned, no cascade
+  }
+  if (p3_reuse) {
+    c.name += "+p3";
+    c.reuse = true;
+  }
+  if (p4_eager) {
+    c.name += "+p4";
+    c.timing = fl::AggTiming::kEager;
+  }
+  return c;
+}
+
+}  // namespace lifl::sys

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/control/placement.hpp"
+#include "src/dataplane/config.hpp"
+#include "src/fl/aggregator_runtime.hpp"
+#include "src/sim/calibration.hpp"
+#include "src/sim/time.hpp"
+
+namespace lifl::sys {
+
+/// How aggregator capacity tracks load.
+enum class ScalingMode : std::uint8_t {
+  kAlwaysOn,        ///< serverful: static, pre-provisioned, never scaled
+  kReactive,        ///< Knative-style: spawn on demand; cold starts cascade
+                    ///< up the aggregation chain (§2.3)
+  kHierarchyAware,  ///< LIFL §5.2: hierarchy pre-planned from Q estimates
+};
+
+/// Where the top aggregator lives.
+enum class TopPlacement : std::uint8_t {
+  kDedicatedNode,  ///< a fixed node hosts the top (serverful §6.2 layout)
+  kColocated,      ///< on the busiest data node — locality-aware (§5.1-5.3)
+};
+
+/// A complete FL-system design point: the data plane of Fig. 5 plus the
+/// control-plane policies of §5. The named systems of the evaluation
+/// (SF / SL / SL-H / LIFL and the Fig. 8 ablations) are factory presets.
+struct SystemConfig {
+  std::string name = "LIFL";
+  dp::DataPlaneConfig plane = dp::lifl_plane();
+  ctrl::PlacementPolicy placement = ctrl::PlacementPolicy::kBestFit;
+  ScalingMode scaling = ScalingMode::kHierarchyAware;
+  bool reuse = true;                       ///< §5.3 opportunistic reuse
+  fl::AggTiming timing = fl::AggTiming::kEager;  ///< §5.4 eager aggregation
+  bool hierarchical = true;                ///< false: single flat aggregator
+  TopPlacement top = TopPlacement::kColocated;
+  sim::NodeId dedicated_top_node = 0;
+
+  /// Updates per leaf aggregator: LIFL keeps I small (=2) to maximize
+  /// parallelism; the application-agnostic serverless baseline uses its
+  /// concurrency target instead (coarser => less parallel).
+  std::uint32_t updates_per_leaf = sim::calib::kUpdatesPerLeaf;
+
+  double cold_start_secs = sim::calib::kLiflColdStartSecs;
+  double cold_start_cycles = sim::calib::kLiflColdStartCycles;
+  bool container_sidecar_idle = false;  ///< bill per-instance sidecar draw
+
+  /// Maximum service capacity MC_i per node (computed offline, App. E).
+  double node_max_capacity = 20.0;
+  /// Per-node MC_i overrides for heterogeneous clusters (§5.1 footnote:
+  /// "With heterogeneous nodes, MC_i may vary"). Empty => homogeneous at
+  /// `node_max_capacity`; shorter than the cluster => remaining nodes use
+  /// the homogeneous value.
+  std::vector<double> node_capacities;
+  /// Prior estimate of E_{i,t} before metrics exist.
+  double default_exec_secs = 1.0;
+  /// Reserved cores billed per always-on aggregator instance (serverful).
+  /// The serverful fleet is sized for peak, so most instances idle at a
+  /// fraction of a core between the arrivals they actually serve.
+  double always_on_reserved_cores = 0.05;
+};
+
+/// LIFL: shm data plane, eBPF sidecar, BestFit locality-aware placement,
+/// hierarchy-aware scaling, reuse, eager aggregation.
+SystemConfig make_lifl();
+
+/// SF: serverful baseline (Fig. 2a) — direct gRPC channels, static
+/// always-on hierarchy on dedicated nodes, batch (lazy) rounds.
+SystemConfig make_serverful();
+
+/// SL: serverless baseline (Fig. 2b) — broker + container sidecar plane,
+/// threshold autoscaling with a coarse concurrency target, reactive cold
+/// starts, lazy aggregation.
+SystemConfig make_serverless();
+
+/// SL-H (Fig. 8 baseline): LIFL's shm data plane under a baseline
+/// serverless control plane — least-connection spreading, reactive scaling,
+/// no reuse, lazy timing, container-grade cold starts.
+SystemConfig make_sl_h();
+
+/// Fig. 8 ablations: SL-H plus ① locality-aware placement, ② hierarchy
+/// planning, ③ aggregator reuse, ④ eager aggregation, applied cumulatively.
+SystemConfig make_lifl_ablation(bool p1_placement, bool p2_planning,
+                                bool p3_reuse, bool p4_eager);
+
+}  // namespace lifl::sys

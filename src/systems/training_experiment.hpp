@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fl/model_spec.hpp"
+#include "src/ml/accuracy_model.hpp"
+#include "src/sim/calibration.hpp"
+#include "src/systems/aggregation_service.hpp"
+#include "src/systems/system_config.hpp"
+#include "src/workload/population.hpp"
+
+namespace lifl::sys {
+
+/// Configuration of an end-to-end FL training run (§6.2 workloads).
+struct TrainingConfig {
+  fl::ModelSpec model = fl::models::resnet18();
+  std::size_t cluster_nodes = 5;        ///< nodes running aggregators
+  std::size_t population = 2800;        ///< total clients (FedScale)
+  std::size_t active_per_round = 120;   ///< simultaneously active clients
+  bool mobile_clients = true;           ///< hibernate before training
+  double base_train_secs = sim::calib::kTrainSecsResNet18;
+  ml::AccuracyModel curve = ml::AccuracyModel::resnet18_femnist();
+  double target_accuracy = 0.70;
+  std::size_t max_rounds = 120;
+  double max_hours = 6.0;
+  double sample_period_secs = 60.0;     ///< time-series sampling (Fig. 10)
+  /// Fraction of selected clients that fail before training; the selector's
+  /// heartbeat detects and replaces them (over-provisioning resilience, §3).
+  double dropout_rate = 0.0;
+  double heartbeat_timeout_secs = 5.0;
+  std::uint64_t seed = 42;
+};
+
+/// Per-round record (rows of Fig. 10(c)/(f); inputs to Fig. 9).
+struct RoundRecord {
+  std::uint32_t round = 0;
+  double started_at = 0.0;
+  double completed_at = 0.0;     ///< global model updated + evaluated
+  double act = 0.0;              ///< aggregation completion time
+  double cpu_secs = 0.0;         ///< service CPU burned this round
+  double accuracy = 0.0;
+  std::uint32_t created = 0;
+  std::uint32_t reused = 0;
+  std::size_t nodes_used = 0;
+};
+
+/// Full result of a training run.
+struct TrainingResult {
+  std::string system;
+  std::vector<RoundRecord> rounds;
+  std::vector<std::uint32_t> arrivals_per_min;             ///< Fig. 10(a)/(d)
+  std::vector<std::pair<double, std::size_t>> active_aggs; ///< Fig. 10(b)/(e)
+  double secs_to_target = -1.0;       ///< wall clock to target accuracy
+  double cpu_hours_to_target = -1.0;  ///< cumulative CPU to target accuracy
+  double wall_secs = 0.0;
+  double cpu_hours_total = 0.0;
+  double final_accuracy = 0.0;
+  /// Client failures the selector's heartbeat tracking detected (§3).
+  std::uint32_t failures_detected = 0;
+};
+
+/// Drives synchronous FedAvg rounds end to end on a given system design:
+/// client selection -> placement -> hibernation + local training ->
+/// uploads -> hierarchical aggregation -> eval -> next round. Reproduces
+/// the Fig. 9 time/cost-to-accuracy and Fig. 10 time-series experiments.
+class TrainingExperiment {
+ public:
+  TrainingExperiment(SystemConfig system, TrainingConfig cfg)
+      : system_(std::move(system)), cfg_(std::move(cfg)) {}
+
+  TrainingResult run();
+
+ private:
+  SystemConfig system_;
+  TrainingConfig cfg_;
+};
+
+}  // namespace lifl::sys

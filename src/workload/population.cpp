@@ -1,0 +1,64 @@
+#include "src/workload/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lifl::wl {
+
+namespace calib = lifl::sim::calib;
+
+ClientPopulation ClientPopulation::synthetic(std::size_t count, bool mobile,
+                                             sim::Rng& rng,
+                                             fl::ParticipantId first_id) {
+  ClientPopulation pop;
+  pop.clients_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ClientProfile c;
+    c.id = first_id + i;
+    // Lognormal heterogeneity: most clients near nominal speed, a tail of
+    // slow stragglers (sigma larger for mobile devices).
+    const double sigma = mobile ? 0.45 : 0.2;
+    c.speed = std::clamp(rng.lognormal(0.0, sigma), 0.25, 4.0);
+    // Dataset sizes: lognormal around ~600 samples (FEMNIST-like shards).
+    c.samples = static_cast<std::uint32_t>(
+        std::clamp(rng.lognormal(std::log(600.0), 0.5), 50.0, 5000.0));
+    c.mobile = mobile;
+    c.uplink_bytes_per_sec = mobile ? calib::kClientUplinkBytesPerSec
+                                    : calib::kServerUplinkBytesPerSec;
+    pop.clients_.push_back(c);
+  }
+  return pop;
+}
+
+std::vector<std::size_t> ClientPopulation::sample(std::size_t k,
+                                                  sim::Rng& rng) const {
+  k = std::min(k, clients_.size());
+  // Partial Fisher-Yates over an index vector.
+  std::vector<std::size_t> idx(clients_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_index(idx.size() - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+double ClientPopulation::round_delay_secs(const ClientProfile& c,
+                                          double base_train_secs,
+                                          sim::Rng& rng) {
+  double delay = 0.0;
+  if (c.mobile) {
+    // §6.2: mobile clients hibernate for a random interval in [0, 60] s,
+    // emulating dynamic availability.
+    delay += rng.uniform(0.0, calib::kHibernateMaxSecs);
+  }
+  const double jitter =
+      std::max(0.1, rng.normal(1.0, calib::kTrainTimeJitter));
+  delay += base_train_secs / c.speed * jitter;
+  return delay;
+}
+
+}  // namespace lifl::wl

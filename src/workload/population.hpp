@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fl/model_update.hpp"
+#include "src/sim/calibration.hpp"
+#include "src/sim/random.hpp"
+
+namespace lifl::wl {
+
+/// One FL client as the platform sees it (FedScale-style heterogeneous
+/// population, §6.2).
+struct ClientProfile {
+  fl::ParticipantId id = 0;
+  /// Relative compute speed (1.0 = nominal); training time divides by this.
+  double speed = 1.0;
+  /// Local dataset size (FedAvg weight c_k).
+  std::uint32_t samples = 0;
+  /// Mobile clients hibernate before training (§6.2 ResNet-18 setup);
+  /// server clients are always-on (§6.2 ResNet-152 setup).
+  bool mobile = false;
+  /// Upload bandwidth to the cluster ingress.
+  double uplink_bytes_per_sec = sim::calib::kServerUplinkBytesPerSec;
+};
+
+/// A synthetic client population standing in for FedScale's 2,800 real
+/// clients: lognormal compute speeds and dataset sizes, plus the
+/// mobile/server availability split of §6.2.
+class ClientPopulation {
+ public:
+  /// Build `count` clients. Mobile clients get mobile-grade uplinks and the
+  /// hibernation behavior; ids start at `first_id`.
+  static ClientPopulation synthetic(std::size_t count, bool mobile,
+                                    sim::Rng& rng,
+                                    fl::ParticipantId first_id = 1'000'000);
+
+  const ClientProfile& operator[](std::size_t i) const { return clients_[i]; }
+  std::size_t size() const noexcept { return clients_.size(); }
+
+  /// Sample `k` distinct client indices (the selector's diversity draw).
+  std::vector<std::size_t> sample(std::size_t k, sim::Rng& rng) const;
+
+  /// Per-round client latency: hibernation (mobile only) + local training,
+  /// with heterogeneity from the profile's speed and multiplicative jitter.
+  static double round_delay_secs(const ClientProfile& c,
+                                 double base_train_secs, sim::Rng& rng);
+
+ private:
+  std::vector<ClientProfile> clients_;
+};
+
+/// Bins events into fixed windows — the arrival-rate-per-minute series of
+/// Fig. 10(a)/(d).
+class ArrivalTracker {
+ public:
+  explicit ArrivalTracker(double bin_secs = 60.0) : bin_secs_(bin_secs) {}
+
+  void record(double t_secs) {
+    const auto bin = static_cast<std::size_t>(t_secs / bin_secs_);
+    if (bins_.size() <= bin) bins_.resize(bin + 1, 0);
+    ++bins_[bin];
+    ++total_;
+  }
+
+  const std::vector<std::uint32_t>& bins() const noexcept { return bins_; }
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_secs() const noexcept { return bin_secs_; }
+
+ private:
+  double bin_secs_;
+  std::vector<std::uint32_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lifl::wl

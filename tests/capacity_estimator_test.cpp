@@ -1,0 +1,105 @@
+// Tests for the Appendix-E offline capacity estimator: knee detection,
+// scaling properties (more slots => more capacity; slower service => less
+// throughput headroom), and curve monotonicity under load.
+
+#include <gtest/gtest.h>
+
+#include "src/control/capacity_estimator.hpp"
+
+namespace lifl::ctrl {
+namespace {
+
+CapacityEstimator::Config profile(std::uint32_t slots, double service) {
+  CapacityEstimator::Config cfg;
+  cfg.slots = slots;
+  cfg.service_secs = service;
+  return cfg;
+}
+
+TEST(CapacityEstimator, InvalidProfileThrows) {
+  EXPECT_THROW(CapacityEstimator::estimate(profile(0, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(CapacityEstimator::estimate(profile(4, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(CapacityEstimator, FindsAKneeUnderOverload) {
+  const auto r = CapacityEstimator::estimate(profile(8, 0.5));
+  EXPECT_TRUE(r.knee_found);
+  EXPECT_GT(r.max_capacity, 0.0);
+  // The knee must sit beyond the uncontended region: E' > baseline E.
+  EXPECT_GT(r.knee_exec_secs, 0.5);
+}
+
+TEST(CapacityEstimator, CapacityNearSlotServiceProduct) {
+  // MC = k' x E' should land in the ballpark of the true concurrent
+  // capacity (slots), since saturation begins around rho = 1 where
+  // k ~ slots / service and E ~ service (paper's MC_i = 20 on its nodes).
+  const auto r = CapacityEstimator::estimate(profile(8, 0.5));
+  EXPECT_GT(r.max_capacity, 4.0);
+  EXPECT_LT(r.max_capacity, 24.0);
+}
+
+TEST(CapacityEstimator, MoreSlotsMeanMoreCapacity) {
+  const auto small = CapacityEstimator::estimate(profile(4, 0.5));
+  const auto big = CapacityEstimator::estimate(profile(16, 0.5));
+  EXPECT_GT(big.max_capacity, small.max_capacity * 1.5);
+}
+
+TEST(CapacityEstimator, SlowerServiceSaturatesAtLowerRate) {
+  const auto fast = CapacityEstimator::estimate(profile(8, 0.25));
+  const auto slow = CapacityEstimator::estimate(profile(8, 1.0));
+  EXPECT_GT(fast.knee_rate, slow.knee_rate * 1.5);
+}
+
+TEST(CapacityEstimator, CurveIsRecordedAndRatesIncrease) {
+  const auto r = CapacityEstimator::estimate(profile(8, 0.5));
+  ASSERT_GE(r.curve.size(), 2u);
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GT(r.curve[i].arrival_rate, r.curve[i - 1].arrival_rate);
+    EXPECT_GT(r.curve[i].exec_secs, 0.0);
+  }
+  // The last probe is the knee.
+  EXPECT_DOUBLE_EQ(r.curve.back().arrival_rate, r.knee_rate);
+}
+
+TEST(CapacityEstimator, UncontendedExecTimeNearService) {
+  const auto r = CapacityEstimator::estimate(profile(8, 0.5));
+  EXPECT_NEAR(r.curve.front().exec_secs, 0.5, 0.1);
+}
+
+TEST(CapacityEstimator, HonorsProbeCapWithoutKnee) {
+  // An absurdly tolerant knee ratio never triggers: the estimator must
+  // terminate at max_probes and report a lower bound.
+  auto cfg = profile(4, 0.1);
+  cfg.knee_ratio = 1e9;
+  cfg.max_probes = 6;
+  const auto r = CapacityEstimator::estimate(cfg);
+  EXPECT_FALSE(r.knee_found);
+  EXPECT_EQ(r.curve.size(), 6u);
+  EXPECT_GT(r.max_capacity, 0.0);
+}
+
+/// Property sweep: for any (slots, service) profile, the estimate is
+/// positive, the knee (when found) is past the first probe, and capacity
+/// scales no worse than linearly with slots.
+class CapacityProfileSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(CapacityProfileSweep, EstimateIsSane) {
+  const auto [slots, service] = GetParam();
+  const auto r = CapacityEstimator::estimate(profile(slots, service));
+  EXPECT_GT(r.max_capacity, 0.0);
+  EXPECT_GT(r.knee_rate, 0.0);
+  EXPECT_GE(r.knee_exec_secs, service * 0.9);
+  // MC should not exceed a generous multiple of the true slot count.
+  EXPECT_LT(r.max_capacity, static_cast<double>(slots) * 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, CapacityProfileSweep,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u, 20u),
+                       ::testing::Values(0.1, 0.5, 2.0)));
+
+}  // namespace
+}  // namespace lifl::ctrl

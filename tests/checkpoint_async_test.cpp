@@ -1,0 +1,175 @@
+// Tests for model checkpointing (Appendix B) and the asynchronous
+// aggregation engine (Fig. 11): checkpoint cadence and asynchrony (off the
+// critical path), async version production, eager/lazy folding, staleness
+// control, and stateless shutdown.
+
+#include <gtest/gtest.h>
+
+#include "src/fl/aggregator_runtime.hpp"
+#include "src/fl/async_engine.hpp"
+#include "src/fl/checkpoint.hpp"
+#include "src/fl/model_spec.hpp"
+
+namespace lifl::fl {
+namespace {
+
+// ----------------------------------------------------------- checkpoints
+
+struct CheckpointWorld {
+  sim::Simulator sim;
+  sim::Cluster cluster;
+
+  CheckpointWorld() : cluster(sim, 1) {}
+};
+
+TEST(CheckpointManager, HonorsCadence) {
+  CheckpointWorld w;
+  CheckpointManager::Config cfg;
+  cfg.every_n_versions = 5;
+  CheckpointManager mgr(w.cluster, 0, cfg);
+  EXPECT_FALSE(mgr.maybe_checkpoint(1, 1000));
+  EXPECT_FALSE(mgr.maybe_checkpoint(4, 1000));
+  EXPECT_TRUE(mgr.maybe_checkpoint(5, 1000));
+  EXPECT_FALSE(mgr.maybe_checkpoint(6, 1000));
+  EXPECT_TRUE(mgr.maybe_checkpoint(10, 1000));
+  w.sim.run();
+  EXPECT_EQ(mgr.persisted().size(), 2u);
+}
+
+TEST(CheckpointManager, PersistsAsynchronously) {
+  // Appendix B: "the aggregator submits a request ... to perform model
+  // checkpoints asynchronously in the background" — durability arrives
+  // later in simulated time, not inline.
+  CheckpointWorld w;
+  CheckpointManager::Config cfg;
+  cfg.every_n_versions = 1;
+  CheckpointManager mgr(w.cluster, 0, cfg);
+  bool durable = false;
+  ASSERT_TRUE(mgr.maybe_checkpoint(1, fl::models::resnet152().bytes(),
+                                   [&] { durable = true; }));
+  EXPECT_FALSE(durable);  // not yet: the write is in flight
+  EXPECT_EQ(mgr.in_flight(), 1u);
+  w.sim.run();
+  EXPECT_TRUE(durable);
+  EXPECT_EQ(mgr.in_flight(), 0u);
+  // A 232 MB checkpoint at 200 MB/s takes over a second of simulated time.
+  EXPECT_GT(w.sim.now(), 1.0);
+}
+
+TEST(CheckpointManager, CheckpointTimeScalesWithModelSize) {
+  auto persist_time = [](std::size_t bytes) {
+    CheckpointWorld w;
+    CheckpointManager::Config cfg;
+    cfg.every_n_versions = 1;
+    CheckpointManager mgr(w.cluster, 0, cfg);
+    mgr.maybe_checkpoint(1, bytes);
+    w.sim.run();
+    return w.sim.now();
+  };
+  EXPECT_GT(persist_time(fl::models::resnet152().bytes()),
+            persist_time(fl::models::resnet18().bytes()) * 2);
+}
+
+// ----------------------------------------------------------- async engine
+
+struct AsyncWorld {
+  sim::Simulator sim;
+  sim::Cluster cluster;
+  dp::DataPlane plane;
+
+  AsyncWorld() : cluster(sim, 1), plane(cluster, dp::lifl_plane(), sim::Rng(7)) {}
+
+  void upload(std::uint32_t version, std::size_t bytes = 1'000'000) {
+    ModelUpdate u;
+    u.model_version = version;
+    u.producer = 500;
+    u.sample_count = 10;
+    u.logical_bytes = bytes;
+    plane.seed_update(0, std::move(u));
+  }
+};
+
+AsyncEngine::Config async_cfg(std::uint32_t goal, AggTiming timing) {
+  AsyncEngine::Config cfg;
+  cfg.node = 0;
+  cfg.aggregation_goal = goal;
+  cfg.timing = timing;
+  cfg.update_bytes = 1'000'000;
+  return cfg;
+}
+
+TEST(AsyncEngine, EmitsVersionEveryGoalUpdates) {
+  AsyncWorld w;
+  AsyncEngine engine(w.plane, async_cfg(3, AggTiming::kEager));
+  engine.start();
+  for (int i = 0; i < 7; ++i) w.upload(engine.current_version());
+  w.sim.run();
+  EXPECT_EQ(engine.version_times().size(), 2u);  // 7 updates / goal 3
+  EXPECT_EQ(engine.current_version(), 3u);       // started at 1
+}
+
+TEST(AsyncEngine, LazyAndEagerFoldTheSameUpdates) {
+  for (const auto timing : {AggTiming::kEager, AggTiming::kLazy}) {
+    AsyncWorld w;
+    AsyncEngine engine(w.plane, async_cfg(4, timing));
+    engine.start();
+    for (int i = 0; i < 8; ++i) w.upload(1);
+    w.sim.run();
+    EXPECT_EQ(engine.version_times().size(), 2u)
+        << "timing=" << static_cast<int>(timing);
+  }
+}
+
+TEST(AsyncEngine, DropsUpdatesBeyondMaxStaleness) {
+  AsyncWorld w;
+  auto cfg = async_cfg(2, AggTiming::kEager);
+  cfg.max_staleness = 1;
+  AsyncEngine engine(w.plane, cfg);
+  engine.start();
+  // Advance to version 3.
+  for (int i = 0; i < 4; ++i) w.upload(engine.current_version());
+  w.sim.run();
+  ASSERT_EQ(engine.current_version(), 3u);
+  // A version-1 update is 2 behind: dropped.
+  w.upload(1);
+  w.sim.run();
+  EXPECT_EQ(engine.stale_dropped(), 1u);
+}
+
+TEST(AsyncEngine, StopReturnsLazyBufferToPool) {
+  AsyncWorld w;
+  AsyncEngine engine(w.plane, async_cfg(5, AggTiming::kLazy));
+  engine.start();
+  w.upload(1);
+  w.upload(1);
+  w.sim.run();
+  engine.stop();
+  w.sim.run();
+  // Under-goal lazy batch: both updates are back in the shared pool.
+  EXPECT_EQ(w.plane.env(0).pool.depth(), 2u);
+}
+
+TEST(AsyncEngine, VersionTimesAreMonotone) {
+  AsyncWorld w;
+  AsyncEngine engine(w.plane, async_cfg(2, AggTiming::kEager));
+  engine.start();
+  for (int i = 0; i < 10; ++i) {
+    w.sim.schedule_after(1.0 * i, [&w, &engine] {
+      ModelUpdate u;
+      u.model_version = engine.current_version();
+      u.producer = 500;
+      u.sample_count = 10;
+      u.logical_bytes = 1'000'000;
+      w.plane.seed_update(0, std::move(u));
+    });
+  }
+  w.sim.run();
+  const auto& times = engine.version_times();
+  ASSERT_GE(times.size(), 3u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace lifl::fl

@@ -1,0 +1,185 @@
+// Unit and property tests for FedAvg aggregation (Eq. 1): the eager==lazy
+// and hierarchical==flat invariants the whole platform relies on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fl/fedavg.hpp"
+#include "src/sim/random.hpp"
+
+namespace lifl::fl {
+namespace {
+
+std::shared_ptr<const ml::Tensor> tensor_of(std::vector<float> v) {
+  ml::Tensor t(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) t[i] = v[i];
+  return std::make_shared<const ml::Tensor>(std::move(t));
+}
+
+TEST(FedAvg, SingleUpdateIsIdentity) {
+  FedAvgAccumulator acc;
+  acc.add(tensor_of({1.0f, 2.0f, 3.0f}), 10);
+  const auto r = acc.result();
+  ASSERT_TRUE(r);
+  EXPECT_FLOAT_EQ((*r)[0], 1.0f);
+  EXPECT_FLOAT_EQ((*r)[2], 3.0f);
+  EXPECT_EQ(acc.total_samples(), 10u);
+  EXPECT_EQ(acc.updates_folded(), 1u);
+}
+
+TEST(FedAvg, EqualWeightsGiveArithmeticMean) {
+  FedAvgAccumulator acc;
+  acc.add(tensor_of({0.0f, 4.0f}), 5);
+  acc.add(tensor_of({2.0f, 0.0f}), 5);
+  const auto r = acc.result();
+  EXPECT_NEAR((*r)[0], 1.0f, 1e-6);
+  EXPECT_NEAR((*r)[1], 2.0f, 1e-6);
+}
+
+TEST(FedAvg, WeightsSkewTheMean) {
+  FedAvgAccumulator acc;
+  acc.add(tensor_of({0.0f}), 1);
+  acc.add(tensor_of({10.0f}), 9);
+  EXPECT_NEAR((*acc.result())[0], 9.0f, 1e-5);
+}
+
+TEST(FedAvg, ZeroSampleCountThrows) {
+  FedAvgAccumulator acc;
+  EXPECT_THROW(acc.add(tensor_of({1.0f}), 0), std::invalid_argument);
+}
+
+TEST(FedAvg, LogicalOnlyUpdatesTrackWeightAndCount) {
+  FedAvgAccumulator acc;
+  ModelUpdate u;
+  u.sample_count = 600;
+  u.logical_bytes = 1000;
+  acc.add(u);
+  acc.add(u);
+  EXPECT_EQ(acc.total_samples(), 1200u);
+  EXPECT_EQ(acc.updates_folded(), 2u);
+  EXPECT_FALSE(acc.result());
+}
+
+TEST(FedAvg, MakeUpdateCarriesAggregateMetadata) {
+  FedAvgAccumulator acc;
+  acc.add(tensor_of({2.0f}), 30);
+  acc.add(tensor_of({4.0f}), 10);
+  const ModelUpdate out = acc.make_update(7, 99, 4096);
+  EXPECT_EQ(out.model_version, 7u);
+  EXPECT_EQ(out.producer, 99u);
+  EXPECT_EQ(out.sample_count, 40u);
+  EXPECT_EQ(out.updates_folded, 2u);
+  EXPECT_EQ(out.logical_bytes, 4096u);
+  ASSERT_TRUE(out.tensor);
+  EXPECT_NEAR((*out.tensor)[0], 2.5f, 1e-6);
+}
+
+TEST(FedAvg, ResetClearsState) {
+  FedAvgAccumulator acc;
+  acc.add(tensor_of({1.0f}), 5);
+  acc.reset();
+  EXPECT_EQ(acc.total_samples(), 0u);
+  EXPECT_EQ(acc.updates_folded(), 0u);
+  EXPECT_FALSE(acc.result());
+}
+
+TEST(FedAvg, FoldedUpdatesPropagateCounts) {
+  // An intermediate update representing 3 client updates must count as 3.
+  FedAvgAccumulator acc;
+  ModelUpdate intermediate;
+  intermediate.sample_count = 90;
+  intermediate.updates_folded = 3;
+  intermediate.tensor = tensor_of({6.0f});
+  acc.add(intermediate);
+  EXPECT_EQ(acc.updates_folded(), 3u);
+  EXPECT_EQ(acc.total_samples(), 90u);
+}
+
+TEST(FedAvg, BatchAverageMatchesHandComputed) {
+  const auto a = tensor_of({1.0f, 0.0f});
+  const auto b = tensor_of({0.0f, 1.0f});
+  const ml::Tensor avg =
+      FedAvgAccumulator::batch_average({{a.get(), 3}, {b.get(), 1}});
+  EXPECT_NEAR(avg[0], 0.75f, 1e-6);
+  EXPECT_NEAR(avg[1], 0.25f, 1e-6);
+}
+
+// ---- Property: eager (cumulative) == lazy (batch), any weights/order.
+class FedAvgEagerLazyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FedAvgEagerLazyProperty, CumulativeEqualsBatch) {
+  sim::Rng rng(GetParam());
+  const std::size_t n = 2 + rng.uniform_index(20);
+  const std::size_t dim = 1 + rng.uniform_index(64);
+
+  std::vector<std::shared_ptr<const ml::Tensor>> tensors;
+  std::vector<std::uint64_t> weights;
+  for (std::size_t i = 0; i < n; ++i) {
+    ml::Tensor t(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      t[j] = static_cast<float>(rng.normal(0.0, 2.0));
+    }
+    tensors.push_back(std::make_shared<const ml::Tensor>(std::move(t)));
+    weights.push_back(1 + rng.uniform_index(1000));
+  }
+
+  // Eager: one-at-a-time cumulative averaging (§5.4).
+  FedAvgAccumulator eager;
+  for (std::size_t i = 0; i < n; ++i) eager.add(tensors[i], weights[i]);
+
+  // Lazy: batch weighted mean.
+  std::vector<std::pair<const ml::Tensor*, std::uint64_t>> batch;
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.emplace_back(tensors[i].get(), weights[i]);
+  }
+  const ml::Tensor lazy = FedAvgAccumulator::batch_average(batch);
+
+  ASSERT_TRUE(eager.result());
+  EXPECT_LT(ml::Tensor::max_abs_diff(*eager.result(), lazy), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FedAvgEagerLazyProperty,
+                         ::testing::Range(1, 21));
+
+// ---- Property: hierarchical aggregation == flat aggregation.
+class FedAvgHierarchyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FedAvgHierarchyProperty, TwoLevelEqualsFlat) {
+  sim::Rng rng(1000 + GetParam());
+  const std::size_t groups = 2 + rng.uniform_index(5);
+  const std::size_t dim = 8;
+
+  FedAvgAccumulator top;
+  std::vector<std::pair<const ml::Tensor*, std::uint64_t>> flat;
+  std::vector<std::shared_ptr<const ml::Tensor>> keep_alive;
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    FedAvgAccumulator leaf;
+    const std::size_t members = 1 + rng.uniform_index(6);
+    for (std::size_t m = 0; m < members; ++m) {
+      ml::Tensor t(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        t[j] = static_cast<float>(rng.normal(0.0, 1.0));
+      }
+      auto sp = std::make_shared<const ml::Tensor>(std::move(t));
+      keep_alive.push_back(sp);
+      const std::uint64_t w = 1 + rng.uniform_index(500);
+      leaf.add(sp, w);
+      flat.emplace_back(sp.get(), w);
+    }
+    // The leaf's intermediate update carries the folded weight, which is
+    // exactly what makes the two-level tree equal the flat average.
+    top.add(leaf.make_update(1, g, 0));
+  }
+
+  const ml::Tensor reference = FedAvgAccumulator::batch_average(flat);
+  ASSERT_TRUE(top.result());
+  EXPECT_LT(ml::Tensor::max_abs_diff(*top.result(), reference), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FedAvgHierarchyProperty,
+                         ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace lifl::fl

@@ -1,0 +1,198 @@
+// Unit tests for the in-place message queue (§4.2) and the node update pool.
+
+#include <gtest/gtest.h>
+
+#include "src/dataplane/update_pool.hpp"
+#include "src/shm/inplace_queue.hpp"
+#include "src/shm/object_store.hpp"
+#include "src/sim/random.hpp"
+
+namespace lifl {
+namespace {
+
+using shm::InPlaceQueue;
+using shm::ObjectKey;
+
+ObjectKey make_key(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  return ObjectKey::generate(rng);
+}
+
+TEST(InPlaceQueue, TryPopEmptyFails) {
+  sim::Simulator sim;
+  InPlaceQueue q(sim);
+  ObjectKey k;
+  EXPECT_FALSE(q.try_pop(k));
+}
+
+TEST(InPlaceQueue, PushThenTryPopIsFifo) {
+  sim::Simulator sim;
+  InPlaceQueue q(sim);
+  const ObjectKey a = make_key(1), b = make_key(2);
+  q.push(a);
+  q.push(b);
+  ObjectKey out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, b);
+}
+
+TEST(InPlaceQueue, WaiterWokenOnPush) {
+  sim::Simulator sim;
+  InPlaceQueue q(sim);
+  ObjectKey got;
+  q.pop_async([&](ObjectKey k) { got = k; });
+  EXPECT_EQ(q.waiter_count(), 1u);
+  const ObjectKey a = make_key(3);
+  q.push(a);
+  sim.run();
+  EXPECT_EQ(got, a);
+  EXPECT_EQ(q.waiter_count(), 0u);
+}
+
+TEST(InPlaceQueue, BufferedKeyServesWaiterImmediately) {
+  sim::Simulator sim;
+  InPlaceQueue q(sim);
+  const ObjectKey a = make_key(4);
+  q.push(a);
+  ObjectKey got;
+  q.pop_async([&](ObjectKey k) { got = k; });
+  sim.run();
+  EXPECT_EQ(got, a);
+}
+
+TEST(InPlaceQueue, WaitersServedFifo) {
+  sim::Simulator sim;
+  InPlaceQueue q(sim);
+  std::vector<int> order;
+  q.pop_async([&](ObjectKey) { order.push_back(0); });
+  q.pop_async([&](ObjectKey) { order.push_back(1); });
+  q.push(make_key(5));
+  q.push(make_key(6));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(InPlaceQueue, QueueingDelayTracked) {
+  sim::Simulator sim;
+  InPlaceQueue q(sim);
+  q.push(make_key(7));
+  sim.run_until(5.0);
+  ObjectKey out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_DOUBLE_EQ(q.total_queueing_delay(), 5.0);
+}
+
+TEST(InPlaceQueue, DepthStats) {
+  sim::Simulator sim;
+  InPlaceQueue q(sim);
+  for (int i = 0; i < 5; ++i) q.push(make_key(10 + i));
+  EXPECT_EQ(q.depth(), 5u);
+  EXPECT_EQ(q.max_depth(), 5u);
+  EXPECT_EQ(q.total_pushed(), 5u);
+  ObjectKey out;
+  q.try_pop(out);
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_EQ(q.max_depth(), 5u);
+}
+
+// ---------------------------------------------------------------- pool
+
+fl::ModelUpdate update_of(std::uint32_t version) {
+  fl::ModelUpdate u;
+  u.model_version = version;
+  u.logical_bytes = 128;
+  u.sample_count = 1;
+  return u;
+}
+
+TEST(UpdatePool, FifoOrder) {
+  sim::Simulator sim;
+  dp::UpdatePool pool(sim);
+  pool.push(update_of(1));
+  pool.push(update_of(2));
+  fl::ModelUpdate u;
+  ASSERT_TRUE(pool.try_pop(u));
+  EXPECT_EQ(u.model_version, 1u);
+  ASSERT_TRUE(pool.try_pop(u));
+  EXPECT_EQ(u.model_version, 2u);
+  EXPECT_FALSE(pool.try_pop(u));
+}
+
+TEST(UpdatePool, AsyncPopFiresOnPush) {
+  sim::Simulator sim;
+  dp::UpdatePool pool(sim);
+  std::uint32_t got = 0;
+  pool.pop_async([&](fl::ModelUpdate u) { got = u.model_version; });
+  pool.push(update_of(9));
+  sim.run();
+  EXPECT_EQ(got, 9u);
+}
+
+TEST(UpdatePool, MultipleWaitersMultiplePushes) {
+  sim::Simulator sim;
+  dp::UpdatePool pool(sim);
+  std::vector<std::uint32_t> got;
+  for (int i = 0; i < 3; ++i) {
+    pool.pop_async([&](fl::ModelUpdate u) { got.push_back(u.model_version); });
+  }
+  for (std::uint32_t v = 1; v <= 3; ++v) pool.push(update_of(v));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(UpdatePool, ClearWaitersDropsPending) {
+  sim::Simulator sim;
+  dp::UpdatePool pool(sim);
+  bool fired = false;
+  pool.pop_async([&](fl::ModelUpdate) { fired = true; });
+  pool.clear_waiters();
+  pool.push(update_of(1));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(pool.depth(), 1u);
+}
+
+TEST(UpdatePool, StatsTrackDepthAndDelay) {
+  sim::Simulator sim;
+  dp::UpdatePool pool(sim);
+  pool.push(update_of(1));
+  pool.push(update_of(2));
+  sim.run_until(3.0);
+  fl::ModelUpdate u;
+  pool.try_pop(u);
+  pool.try_pop(u);
+  EXPECT_EQ(pool.max_depth(), 2u);
+  EXPECT_EQ(pool.total_pushed(), 2u);
+  EXPECT_DOUBLE_EQ(pool.total_queueing_delay(), 6.0);
+}
+
+TEST(UpdatePool, LeaseReleasedWhenUpdateDropped) {
+  // An update's shm lease must release its store reference when the last
+  // copy of the update disappears (RAII recycle).
+  sim::Simulator sim;
+  dp::UpdatePool pool(sim);
+  shm::ObjectStore store{sim::Rng(42)};
+  {
+    fl::ModelUpdate u = update_of(1);
+    const ObjectKey key = store.put_logical(64);
+    auto* sp = &store;
+    u.lease = std::shared_ptr<const void>(
+        new ObjectKey(key), [sp](const ObjectKey* k) {
+          sp->release(*k);
+          delete k;
+        });
+    pool.push(std::move(u));
+    EXPECT_EQ(store.size(), 1u);
+    fl::ModelUpdate out;
+    pool.try_pop(out);
+    // `out` still holds the lease here.
+    EXPECT_EQ(store.size(), 1u);
+  }
+  // All copies gone => object released.
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace lifl

@@ -1,0 +1,123 @@
+// Tests for the selector (Fig. 2): cohort over-provisioning, diversity,
+// and keep-alive heartbeat failure detection (§3 resilience).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/control/selector.hpp"
+
+namespace lifl::ctrl {
+namespace {
+
+struct World {
+  sim::Simulator sim;
+  Selector selector;
+
+  explicit World(Selector::Config cfg = {}) : selector(sim, cfg) {}
+};
+
+wl::ClientPopulation make_population(std::size_t n) {
+  sim::Rng rng(4);
+  return wl::ClientPopulation::synthetic(n, /*mobile=*/false, rng);
+}
+
+TEST(Selector, OverprovisionsTheCohort) {
+  World w;
+  const auto pop = make_population(500);
+  sim::Rng rng(9);
+  const auto cohort = w.selector.select(pop, 100, rng);
+  EXPECT_EQ(cohort.goal, 100u);
+  EXPECT_EQ(cohort.members.size(), 130u);  // 100 x (1 + 0.3)
+}
+
+TEST(Selector, CohortIsBoundedByPopulation) {
+  World w;
+  const auto pop = make_population(50);
+  sim::Rng rng(9);
+  const auto cohort = w.selector.select(pop, 48, rng);
+  EXPECT_LE(cohort.members.size(), 50u);
+}
+
+TEST(Selector, CohortMembersAreDistinct) {
+  World w;
+  const auto pop = make_population(300);
+  sim::Rng rng(10);
+  const auto cohort = w.selector.select(pop, 120, rng);
+  std::set<std::size_t> unique(cohort.members.begin(), cohort.members.end());
+  EXPECT_EQ(unique.size(), cohort.members.size());
+}
+
+TEST(Selector, ConsecutiveDrawsDiffer) {
+  World w;
+  const auto pop = make_population(1000);
+  sim::Rng rng(11);
+  const auto a = w.selector.select(pop, 50, rng);
+  const auto b = w.selector.select(pop, 50, rng);
+  EXPECT_NE(a.members, b.members);  // diversity across rounds
+}
+
+TEST(Selector, SilentClientIsDeclaredFailed) {
+  World w;
+  bool failed = false;
+  w.selector.track(42, [&] { failed = true; });
+  w.sim.run();  // no heartbeats ever arrive
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(w.selector.failures_detected(), 1u);
+  EXPECT_EQ(w.selector.tracked(), 0u);
+}
+
+TEST(Selector, HeartbeatsKeepClientAlive) {
+  World w;
+  bool failed = false;
+  w.selector.track(42, [&] { failed = true; });
+  // Heartbeats every second for 20 s, then the client reports done.
+  for (int s = 1; s <= 20; ++s) {
+    w.sim.schedule_after(s, [&] { w.selector.heartbeat(42); });
+  }
+  w.sim.schedule_after(20.5, [&] { w.selector.report_done(42); });
+  w.sim.run();
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(w.selector.failures_detected(), 0u);
+}
+
+TEST(Selector, FailureFiresOnlyAfterTimeoutOfSilence) {
+  Selector::Config cfg;
+  cfg.heartbeat_timeout_secs = 5.0;
+  World w(cfg);
+  double failed_at = -1.0;
+  w.selector.track(7, [&] { failed_at = w.sim.now(); });
+  // One heartbeat at t=3: silence runs 3..8, so failure lands near t=8.
+  w.sim.schedule_after(3.0, [&] { w.selector.heartbeat(7); });
+  w.sim.run();
+  EXPECT_GE(failed_at, 8.0 - 1e-6);
+  EXPECT_LE(failed_at, 8.0 + cfg.heartbeat_timeout_secs + 1e-6);
+}
+
+TEST(Selector, ReportDoneStopsTracking) {
+  World w;
+  bool failed = false;
+  w.selector.track(1, [&] { failed = true; });
+  w.sim.schedule_after(1.0, [&] { w.selector.report_done(1); });
+  w.sim.run();
+  EXPECT_FALSE(failed);
+}
+
+TEST(Selector, TracksManyClientsIndependently) {
+  World w;
+  int failures = 0;
+  for (fl::ParticipantId c = 1; c <= 10; ++c) {
+    w.selector.track(c, [&] { ++failures; });
+  }
+  // Clients 1..5 stay alive (heartbeat + done); 6..10 go silent.
+  for (fl::ParticipantId c = 1; c <= 5; ++c) {
+    w.sim.schedule_after(1.0, [&w, c] { w.selector.heartbeat(c); });
+    w.sim.schedule_after(2.0, [&w, c] { w.selector.report_done(c); });
+  }
+  w.sim.run();
+  EXPECT_EQ(failures, 5);
+  EXPECT_EQ(w.selector.failures_detected(), 5u);
+}
+
+}  // namespace
+}  // namespace lifl::ctrl

@@ -1,0 +1,173 @@
+// Unit tests for the deterministic RNG and its distributions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/random.hpp"
+
+namespace lifl::sim {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng root(99);
+  Rng a1 = root.split(7);
+  Rng a2 = root.split(7);
+  Rng b = root.split(8);
+  EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  EXPECT_NE(a1.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitDoesNotPerturbParent) {
+  Rng a(5), b(5);
+  (void)a.split(1);
+  (void)a.split(2);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(3.0, 7.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(42);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng r(42);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) seen[r.uniform_index(10)]++;
+  for (int c : seen) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(42);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng r(42);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng r(42);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, GammaMeanEqualsShape) {
+  Rng r(42);
+  for (const double shape : {0.5, 1.0, 2.0, 7.5}) {
+    double sum = 0;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i) sum += r.gamma(shape);
+    EXPECT_NEAR(sum / n, shape, shape * 0.05) << "shape=" << shape;
+  }
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng r(42);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = r.dirichlet(0.5, 10);
+    double sum = 0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletSkewGrowsAsAlphaShrinks) {
+  // Smaller alpha => more mass on fewer classes (more non-IID).
+  Rng r(42);
+  auto max_mass = [&r](double alpha) {
+    double total = 0;
+    for (int i = 0; i < 300; ++i) {
+      const auto v = r.dirichlet(alpha, 10);
+      total += *std::max_element(v.begin(), v.end());
+    }
+    return total / 300;
+  };
+  const double skew_low_alpha = max_mass(0.1);
+  const double skew_high_alpha = max_mass(10.0);
+  EXPECT_GT(skew_low_alpha, skew_high_alpha + 0.2);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(42);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = r.lognormal(std::log(5.0), 0.8);
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 5.0, 0.3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(42);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleChangesOrder) {
+  Rng r(42);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto w = v;
+  r.shuffle(w);
+  EXPECT_NE(v, w);
+}
+
+}  // namespace
+}  // namespace lifl::sim

@@ -1,0 +1,169 @@
+// Unit tests for the FIFO multi-server Resource (contention model).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/resource.hpp"
+
+namespace lifl::sim {
+namespace {
+
+TEST(Resource, SingleServerSerializesJobs) {
+  Simulator sim;
+  Resource r(sim, "r", 1);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    r.acquire(2.0, [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  EXPECT_EQ(done, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(Resource, MultiServerRunsInParallel) {
+  Simulator sim;
+  Resource r(sim, "r", 3);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    r.acquire(2.0, [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  EXPECT_EQ(done, (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(Resource, QueueIsFifo) {
+  Simulator sim;
+  Resource r(sim, "r", 1);
+  std::vector<int> order;
+  r.acquire(1.0, [&] { order.push_back(0); });
+  r.acquire(5.0, [&] { order.push_back(1); });
+  r.acquire(0.5, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Resource, TwoServersEightJobs) {
+  // 8 jobs x 1s on 2 servers => makespan 4s. This is exactly the kernel
+  // contention pattern of Fig. 4 (8 trainer transfers over 2 kernel cores).
+  Simulator sim;
+  Resource r(sim, "knet", 2);
+  double last = 0;
+  for (int i = 0; i < 8; ++i) {
+    r.acquire(1.0, [&] { last = sim.now(); });
+  }
+  sim.run();
+  EXPECT_DOUBLE_EQ(last, 4.0);
+}
+
+TEST(Resource, ZeroDurationJobsCompleteRespectingOrder) {
+  Simulator sim;
+  Resource r(sim, "r", 1);
+  std::vector<int> order;
+  r.acquire(0.0, [&] { order.push_back(0); });
+  r.acquire(0.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Resource, BusyTimeIntegralIsExact) {
+  Simulator sim;
+  Resource r(sim, "r", 2);
+  r.acquire(3.0, [] {});
+  r.acquire(5.0, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(r.busy_time(), 8.0);
+  EXPECT_EQ(r.completed(), 2u);
+}
+
+TEST(Resource, UtilizationOverWindow) {
+  Simulator sim;
+  Resource r(sim, "r", 2);
+  r.acquire(5.0, [] {});  // one of two servers busy for 5s
+  sim.run_until(10.0);
+  EXPECT_NEAR(r.utilization(), 5.0 / 20.0, 1e-12);
+}
+
+TEST(Resource, WaitTimeAccounted) {
+  Simulator sim;
+  Resource r(sim, "r", 1);
+  r.acquire(4.0, [] {});
+  r.acquire(1.0, [] {});  // waits 4s
+  sim.run();
+  EXPECT_DOUBLE_EQ(r.total_wait_time(), 4.0);
+}
+
+TEST(Resource, GrowCapacityStartsQueuedJobs) {
+  Simulator sim;
+  Resource r(sim, "r", 1);
+  std::vector<double> done;
+  r.acquire(10.0, [&] { done.push_back(sim.now()); });
+  r.acquire(1.0, [&] { done.push_back(sim.now()); });
+  sim.schedule_at(2.0, [&] { r.set_capacity(2); });  // vertical scale-up
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 3.0);   // queued job starts at 2.0
+  EXPECT_DOUBLE_EQ(done[1], 10.0);
+}
+
+TEST(Resource, ShrinkCapacityDoesNotPreempt) {
+  Simulator sim;
+  Resource r(sim, "r", 2);
+  std::vector<double> done;
+  r.acquire(5.0, [&] { done.push_back(sim.now()); });
+  r.acquire(7.0, [&] { done.push_back(sim.now()); });
+  r.acquire(1.0, [&] { done.push_back(sim.now()); });
+  sim.schedule_at(1.0, [&] { r.set_capacity(1); });
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  // Both in-service jobs run to completion despite the shrink at t=1.
+  EXPECT_DOUBLE_EQ(done[0], 5.0);
+  EXPECT_DOUBLE_EQ(done[1], 7.0);
+  // The queued job starts only once busy(1) < capacity(1), i.e. at t=7.
+  EXPECT_DOUBLE_EQ(done[2], 8.0);
+}
+
+TEST(Resource, ResetStatsClearsCounters) {
+  Simulator sim;
+  Resource r(sim, "r", 1);
+  r.acquire(2.0, [] {});
+  sim.run();
+  r.reset_stats();
+  EXPECT_DOUBLE_EQ(r.busy_time(), 0.0);
+  EXPECT_EQ(r.completed(), 0u);
+  EXPECT_DOUBLE_EQ(r.total_wait_time(), 0.0);
+}
+
+TEST(Resource, QueueLengthReflectsBacklog) {
+  Simulator sim;
+  Resource r(sim, "r", 1);
+  for (int i = 0; i < 5; ++i) r.acquire(1.0, [] {});
+  EXPECT_EQ(r.busy(), 1u);
+  EXPECT_EQ(r.queue_length(), 4u);
+  sim.run();
+  EXPECT_EQ(r.queue_length(), 0u);
+  EXPECT_EQ(r.busy(), 0u);
+}
+
+// Property: makespan of n identical jobs on c servers = ceil(n/c) * t.
+class ResourceMakespan
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ResourceMakespan, MatchesClosedForm) {
+  const auto [n, c] = GetParam();
+  Simulator sim;
+  Resource r(sim, "r", c);
+  for (int i = 0; i < n; ++i) r.acquire(2.5, [] {});
+  sim.run();
+  const double expect = std::ceil(static_cast<double>(n) / c) * 2.5;
+  EXPECT_NEAR(sim.now(), expect, 1e-9);
+  EXPECT_NEAR(r.busy_time(), n * 2.5, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ResourceMakespan,
+    ::testing::Combine(::testing::Values(1, 2, 7, 16, 64),
+                       ::testing::Values(1, 2, 4, 8)));
+
+}  // namespace
+}  // namespace lifl::sim

@@ -1,0 +1,192 @@
+// Unit tests for the discrete-event simulator core.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace lifl::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_after(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_at(3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(Simulator, NegativeDelayClampsToZero) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_after(-7.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelReturnsFalseTwice) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterRunReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelledEventDoesNotBlockOthers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  const EventId id = sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, StepRunsExactlyOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  sim.schedule_at(3.0, [&] { ++count; });
+  EXPECT_EQ(sim.run_until(2.0), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithNoEvents) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, EventsScheduledDuringRunAreExecuted) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_after(1.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, DispatchedCountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 17; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.dispatched(), 17u);
+}
+
+TEST(Simulator, PendingExcludesCancelled) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+// Property sweep: dispatch order equals sorted (time, seq) order for
+// randomized schedules of different sizes.
+class SimulatorOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorOrderProperty, DispatchOrderIsStableSort) {
+  const int n = GetParam();
+  Simulator sim;
+  std::vector<std::pair<double, int>> fired;
+  // Deterministic pseudo-random times with many collisions.
+  std::uint64_t x = 0x1234 + n;
+  for (int i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const double t = static_cast<double>((x >> 33) % 16);
+    sim.schedule_at(t, [&fired, t, i] { fired.emplace_back(t, i); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(n));
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    // Non-decreasing time; FIFO within a timestamp (seq increases).
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      EXPECT_LT(fired[i - 1].second, fired[i].second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimulatorOrderProperty,
+                         ::testing::Values(1, 2, 10, 100, 1000, 5000));
+
+}  // namespace
+}  // namespace lifl::sim
