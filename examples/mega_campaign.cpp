@@ -1,0 +1,242 @@
+// Million-client FL campaign — the scale the ROADMAP's north star asks for
+// and the reason the event core is a calendar queue rather than one big
+// heap.
+//
+// A population of 1,000,000 phone-class clients is described *lazily*: the
+// ClientPopulation holds an RNG root and derives a client's profile from
+// its index on demand, so the campaign never materializes a million
+// ClientProfiles. Uploads are driven open-loop by an ArrivalProcess
+// (Poisson, linear ramp, diurnal wave) that keeps exactly one pending
+// arrival event; peak resident state is O(active clients) — in-flight
+// uploads plus the aggregation hierarchy — not O(population).
+//
+// Each round, the arriving updates land on an 8-node LIFL cluster and flow
+// through a two-level hierarchy (per-node leaf aggregators pulling from the
+// node pool, one top aggregator), under eager and under lazy timing
+// (Fig. 1). The example reports per-round wall time, simulated time, event
+// throughput, and the process's peak RSS as evidence of the O(active)
+// memory claim.
+//
+// Build & run:  cmake -B build && cmake --build build -j
+//               ./build/examples/mega_campaign            # full 1M clients
+//               ./build/examples/mega_campaign 100000     # quicker slice
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dataplane/config.hpp"
+#include "src/dataplane/dataplane.hpp"
+#include "src/fl/aggregator_runtime.hpp"
+#include "src/sim/node.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/systems/table.hpp"
+#include "src/workload/population.hpp"
+
+namespace {
+
+using namespace lifl;
+
+struct CampaignConfig {
+  std::size_t population = 1'000'000;
+  std::size_t nodes = 8;
+  std::size_t rounds = 4;
+  std::uint32_t updates_per_leaf = 500;
+  std::size_t leaves_per_node = 62;
+  std::size_t model_bytes = 100'000;  ///< compressed mobile update
+  wl::ArrivalProcess::Config arrivals{/*peak_per_sec=*/2500.0,
+                                      /*ramp_secs=*/60.0,
+                                      /*diurnal_amplitude=*/0.3,
+                                      /*diurnal_period_secs=*/600.0};
+
+  std::size_t uploads_per_round() const {
+    return nodes * leaves_per_node * updates_per_leaf;
+  }
+};
+
+struct RoundStats {
+  double sim_secs = 0;
+  double wall_secs = 0;
+  std::uint64_t events = 0;
+  std::uint64_t uploads = 0;
+  double top_busy = 0;
+};
+
+/// Peak resident set size of this process (kB), from /proc/self/status.
+long peak_rss_kb() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtol(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+std::vector<RoundStats> run_campaign(const CampaignConfig& cfg,
+                                     fl::AggTiming timing) {
+  sim::Simulator sim;
+  sim::Cluster cluster(sim, cfg.nodes);
+  dp::DataPlane plane(cluster, dp::lifl_plane(), sim::Rng(12));
+  sim::Rng rng(2026);
+  wl::ClientPopulation population =
+      wl::ClientPopulation::synthetic(cfg.population, /*mobile=*/true, rng);
+  wl::ArrivalProcess arrivals(cfg.arrivals);
+
+  std::vector<RoundStats> stats;
+  std::uint64_t participant_counter = 0;
+
+  for (std::size_t round = 1; round <= cfg.rounds; ++round) {
+    const double round_started = sim.now();
+    const std::uint64_t events_before = sim.dispatched();
+    const auto wall0 = std::chrono::steady_clock::now();
+
+    // Two-level hierarchy: per-node leaves pulling from the node pool, one
+    // top aggregator collecting the leaf partials.
+    std::vector<std::unique_ptr<fl::AggregatorRuntime>> aggs;
+    bool round_done = false;
+    fl::AggregatorRuntime::Config tc;
+    tc.id = 1;
+    tc.node = 0;
+    tc.role = fl::AggRole::kTop;
+    tc.timing = timing;
+    tc.goal = static_cast<std::uint32_t>(cfg.nodes * cfg.leaves_per_node);
+    tc.result_bytes = cfg.model_bytes;
+    tc.expected_version = static_cast<std::uint32_t>(round);
+    tc.on_result = [&round_done](fl::ModelUpdate) { round_done = true; };
+    aggs.push_back(std::make_unique<fl::AggregatorRuntime>(plane, tc));
+    aggs.back()->start();
+    fl::ParticipantId next_id = 10;
+    for (std::size_t n = 0; n < cfg.nodes; ++n) {
+      for (std::size_t l = 0; l < cfg.leaves_per_node; ++l) {
+        fl::AggregatorRuntime::Config lc;
+        lc.id = next_id++;
+        lc.node = static_cast<sim::NodeId>(n);
+        lc.role = fl::AggRole::kLeaf;
+        lc.timing = timing;
+        lc.goal = cfg.updates_per_leaf;
+        lc.consumer = 1;
+        lc.result_bytes = cfg.model_bytes;
+        lc.pull_from_pool = true;
+        lc.expected_version = static_cast<std::uint32_t>(round);
+        aggs.push_back(std::make_unique<fl::AggregatorRuntime>(plane, lc));
+        aggs.back()->start();
+      }
+    }
+
+    // Open-loop arrivals: one pending arrival event at any time; each
+    // arrival derives the client's profile from its index on demand.
+    const std::uint64_t target = cfg.uploads_per_round();
+    std::uint64_t launched = 0;
+    const double epoch = sim.now();
+    auto spawn_next = std::make_shared<std::function<void(double)>>();
+    *spawn_next = [&, epoch](double prev_rel) {
+      if (launched >= target) return;
+      ++launched;
+      const double next_rel = arrivals.next_after(prev_rel, rng);
+      // A pseudo-random permutation walks the population without repeats.
+      const std::size_t idx = static_cast<std::size_t>(
+          (participant_counter++ * 2654435761ull) % cfg.population);
+      const wl::ClientProfile profile = population[idx];
+      const auto node =
+          static_cast<sim::NodeId>(participant_counter % cfg.nodes);
+      sim.schedule_at(epoch + next_rel, [&, node, profile, round, prev = next_rel] {
+        fl::ModelUpdate u;
+        u.model_version = static_cast<std::uint32_t>(round);
+        u.producer = profile.id;
+        u.sample_count = profile.samples;
+        u.logical_bytes = cfg.model_bytes;
+        plane.client_upload(node, std::move(u), profile.uplink_bytes_per_sec);
+        (*spawn_next)(prev);
+      });
+    };
+    (*spawn_next)(0.0);
+
+    sim.run();
+    if (!round_done) {
+      std::fprintf(stderr, "round %zu did not complete\n", round);
+      std::exit(1);
+    }
+
+    RoundStats rs;
+    rs.sim_secs = sim.now() - round_started;
+    rs.wall_secs = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall0)
+                       .count();
+    rs.events = sim.dispatched() - events_before;
+    rs.uploads = launched;
+    rs.top_busy = aggs.front()->busy_secs();
+    stats.push_back(rs);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignConfig cfg;
+  if (argc > 1) {
+    char* end = nullptr;
+    cfg.population = std::strtoul(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || cfg.population < 1000) {
+      std::fprintf(stderr, "usage: %s [population >= 1000]\n", argv[0]);
+      return 2;
+    }
+    // Keep the hierarchy shape; scale the per-round fan-in to the slice.
+    while (cfg.uploads_per_round() * cfg.rounds > cfg.population &&
+           cfg.leaves_per_node > 1) {
+      cfg.leaves_per_node /= 2;
+    }
+  }
+
+  std::printf(
+      "Mega campaign: %zu mobile clients, %zu nodes, %zu rounds x %zu "
+      "uploads (%.1f%% of the population participates)\n\n",
+      cfg.population, cfg.nodes, cfg.rounds, cfg.uploads_per_round(),
+      100.0 * static_cast<double>(cfg.uploads_per_round() * cfg.rounds) /
+          static_cast<double>(cfg.population));
+
+  for (const auto timing : {fl::AggTiming::kEager, fl::AggTiming::kLazy}) {
+    const char* name = timing == fl::AggTiming::kEager ? "eager" : "lazy";
+    const auto stats = run_campaign(cfg, timing);
+
+    sys::Table t({"round", "uploads", "sim(s)", "wall(s)", "events",
+                  "events/s(wall)", "top_busy(s)"});
+    std::uint64_t total_events = 0;
+    double total_wall = 0;
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      const auto& r = stats[i];
+      t.row({std::to_string(i + 1), std::to_string(r.uploads),
+             sys::fmt(r.sim_secs, 1), sys::fmt(r.wall_secs, 2),
+             std::to_string(r.events),
+             sys::fmt(r.events / r.wall_secs / 1e6, 2) + "M",
+             sys::fmt(r.top_busy, 2)});
+      total_events += r.events;
+      total_wall += r.wall_secs;
+    }
+    t.print(std::string("LIFL hierarchy, ") + name + " aggregation");
+    std::printf("%s totals: %llu events in %.1f s wall (%.2fM events/s)\n\n",
+                name, static_cast<unsigned long long>(total_events),
+                total_wall, total_events / total_wall / 1e6);
+  }
+
+  const long rss = peak_rss_kb();
+  if (rss > 0) {
+    std::printf(
+        "peak RSS: %.1f MB — flat in the population size: profiles are\n"
+        "derived per index from the RNG stream and only in-flight uploads\n"
+        "and the %zu-instance hierarchy are resident (O(active clients)).\n",
+        rss / 1024.0, cfg.nodes * cfg.leaves_per_node + 1);
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <stdexcept>
 #include <unordered_set>
 
 namespace lifl::ctrl {

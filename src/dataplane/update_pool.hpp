@@ -25,28 +25,22 @@ class UpdatePool {
 
   explicit UpdatePool(sim::Simulator& sim) : sim_(sim) {}
 
-  /// Enqueue; wakes the longest-waiting consumer, if any.
+  /// Enqueue; wakes the longest-waiting consumer, if any. Delivery happens
+  /// at the current instant through the simulator's zero-delay fast path —
+  /// no heap traffic per message on the ingest hot path.
   void push(fl::ModelUpdate u) {
     ++total_pushed_;
     if (!waiters_.empty()) {
       Waiter w = std::move(waiters_.front());
       waiters_.pop_front();
-      sim_.schedule_after(0.0, [w = std::move(w), u = std::move(u)]() mutable {
+      sim_.schedule_now([w = std::move(w), u = std::move(u)]() mutable {
         w(std::move(u));
       });
       return;
     }
     entries_.push_back(Entry{std::move(u), sim_.now()});
     max_depth_ = std::max(max_depth_, entries_.size());
-    for (std::size_t i = 0; i < depth_watchers_.size();) {
-      if (entries_.size() >= depth_watchers_[i].depth) {
-        sim_.schedule_after(0.0, std::move(depth_watchers_[i].fn));
-        depth_watchers_.erase(depth_watchers_.begin() +
-                              static_cast<std::ptrdiff_t>(i));
-      } else {
-        ++i;
-      }
-    }
+    wake_depth_watchers();
   }
 
   /// Synchronous pop; false if empty.
@@ -60,7 +54,7 @@ class UpdatePool {
   void pop_async(Waiter w) {
     if (!entries_.empty()) {
       fl::ModelUpdate u = take_front();
-      sim_.schedule_after(0.0, [w = std::move(w), u = std::move(u)]() mutable {
+      sim_.schedule_now([w = std::move(w), u = std::move(u)]() mutable {
         w(std::move(u));
       });
       return;
@@ -80,7 +74,7 @@ class UpdatePool {
   /// updates queue at the broker until the aggregator is ready for them).
   void when_depth(std::size_t n, std::function<void()> fn) {
     if (entries_.size() >= n) {
-      sim_.schedule_after(0.0, std::move(fn));
+      sim_.schedule_now(std::move(fn));
       return;
     }
     depth_watchers_.push_back(DepthWatcher{n, std::move(fn)});
@@ -102,6 +96,28 @@ class UpdatePool {
     std::size_t depth;
     std::function<void()> fn;
   };
+
+  /// Fire every watcher satisfied by the current depth as ONE batched
+  /// zero-delay event (registration order preserved) instead of an event
+  /// per watcher: a push that releases a whole lazy-aggregation fan-in
+  /// costs a single wake-up.
+  void wake_depth_watchers() {
+    const std::size_t depth = entries_.size();
+    std::vector<std::function<void()>> due;
+    for (std::size_t i = 0; i < depth_watchers_.size();) {
+      if (depth >= depth_watchers_[i].depth) {
+        due.push_back(std::move(depth_watchers_[i].fn));
+        depth_watchers_.erase(depth_watchers_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (due.empty()) return;
+    sim_.schedule_now([due = std::move(due)]() mutable {
+      for (auto& fn : due) fn();
+    });
+  }
 
   fl::ModelUpdate take_front() {
     Entry e = std::move(entries_.front());

@@ -2,12 +2,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/sim/task.hpp"
 #include "src/sim/time.hpp"
 
 namespace lifl::sim {
@@ -22,9 +19,27 @@ namespace lifl::sim {
 /// *Daemon* events model background periodic work (metrics polling,
 /// samplers): they execute normally while regular events exist, but do not
 /// by themselves keep `run()` alive — exactly like daemon threads.
+///
+/// The core is built for million-event campaigns:
+///  - Every event is one slab record (callback, time, sequence number)
+///    allocated off a free list: scheduling performs no per-event heap
+///    allocation and no map insert/erase.
+///  - Timed events run through a two-stage calendar queue. Far events sit
+///    in intrusive bucket chains (a `next` index threaded through the
+///    slab, one O(1) pointer splice per event); when a time window opens,
+///    its chain is moved into a small binary heap ("near") that serves
+///    dispatch, so the heap stays cache-resident instead of growing to the
+///    full pending population.
+///  - Zero-delay events (`schedule_now`, or any schedule that lands exactly
+///    at `now()`) take a FIFO ring fast-path that bypasses the calendar
+///    entirely; cross-queue ordering is preserved by comparing sequence
+///    numbers whenever a timed event is also due at the current instant.
+///  - `cancel` is O(1): it destroys the callback and tombstones the record;
+///    the queue entry is discarded (and the slot recycled) when it
+///    surfaces, never transiting the dispatch heap.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Task;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -43,6 +58,13 @@ class Simulator {
     return schedule_at(now_ + (dt > 0 ? dt : 0), std::move(cb));
   }
 
+  /// Schedule `cb` at the current instant, after all events already
+  /// scheduled for this instant (same semantics as `schedule_after(0, cb)`
+  /// but guaranteed to take the heap-free fast path).
+  EventId schedule_now(Callback cb) {
+    return schedule_impl(now_, std::move(cb), /*daemon=*/false);
+  }
+
   /// Schedule a daemon event: runs like a normal event but does not keep
   /// `run()` going once all regular events have drained.
   EventId schedule_daemon_at(SimTime t, Callback cb) {
@@ -52,6 +74,11 @@ class Simulator {
   /// Daemon variant of `schedule_after`.
   EventId schedule_daemon_after(SimTime dt, Callback cb) {
     return schedule_daemon_at(now_ + (dt > 0 ? dt : 0), std::move(cb));
+  }
+
+  /// Daemon variant of `schedule_now`.
+  EventId schedule_daemon_now(Callback cb) {
+    return schedule_impl(now_, std::move(cb), /*daemon=*/true);
   }
 
   /// Cancel a pending event. Returns false if it already ran or was cancelled.
@@ -69,7 +96,7 @@ class Simulator {
   std::size_t run_until(SimTime t);
 
   /// Number of pending (non-cancelled) events, daemons included.
-  std::size_t pending() const noexcept { return callbacks_.size(); }
+  std::size_t pending() const noexcept { return pending_; }
 
   /// Number of pending regular (non-daemon) events.
   std::size_t pending_regular() const noexcept { return regular_pending_; }
@@ -78,30 +105,97 @@ class Simulator {
   std::uint64_t dispatched() const noexcept { return dispatched_; }
 
  private:
-  struct Entry {
-    SimTime t;
-    EventId id;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;  // FIFO among equal timestamps
-    }
-  };
-  struct Pending {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// One event record. A slot is owned by exactly one queue entry (bucket
+  /// chain link, near-heap handle, or ring handle) from schedule until that
+  /// entry surfaces, so cancellation only tombstones it here and the
+  /// surfacing code recycles it. Exactly one cache line: the chain link is
+  /// written while the line is already open for the callback store, so
+  /// scheduling into a bucket costs no extra fill.
+  struct alignas(64) Slot {
     Callback cb;
+    SimTime t = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t next = kNil;  ///< intrusive bucket-chain link
+    std::uint32_t gen = 0;      ///< stale-EventId guard; bumped on recycle
     bool daemon = false;
+    bool timed = false;      ///< calendar/near (vs ring)
+    bool tombstone = false;  ///< cancelled; recycle on surface
+  };
+  /// Near-heap handle: plain data, cheap to sift.
+  struct TimedEntry {
+    SimTime t;
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
 
   EventId schedule_impl(SimTime t, Callback cb, bool daemon);
   bool dispatch_next(SimTime limit, bool bounded);
 
+  std::uint32_t alloc_slot(Callback cb, bool daemon);
+  void free_slot(std::uint32_t slot) {
+    ++slots_[slot].gen;
+    slots_[slot].tombstone = false;
+    free_.push_back(slot);
+  }
+
+  static bool entry_later(const TimedEntry& a, const TimedEntry& b) noexcept {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;  // FIFO among equal timestamps
+  }
+  void near_push(TimedEntry e);
+  void near_pop();
+
+  // Calendar stage.
+  std::size_t bucket_of(SimTime t) const noexcept {
+    return static_cast<std::size_t>(t / bucket_width_) & (buckets_.size() - 1);
+  }
+  void calendar_insert(std::uint32_t slot);
+  /// Move the window forward until the near heap holds a live event (or no
+  /// timed events remain). Never touches `now_`.
+  void open_windows();
+  /// Resize/re-anchor the calendar for the current live population/spread.
+  void rebuild_calendar();
+
+  struct RingEntry {
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  void ring_push(RingEntry e);
+  void ring_pop() noexcept {
+    ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+    --ring_size_;
+  }
+  /// Recycle cancelled entries until both queue fronts are live.
+  void skim_tombstones();
+
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::size_t pending_ = 0;
   std::size_t regular_pending_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, Pending> callbacks_;
+  std::size_t timed_live_ = 0;  ///< live events in near heap + calendar
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+
+  // Near stage: binary min-heap on (t, seq) for events with t < win_end_.
+  // May hold tombstoned handles; `skim_tombstones` recycles them at the top.
+  std::vector<TimedEntry> near_;
+  // Calendar stage: chain heads, one per bucket of width bucket_width_; an
+  // event at t chains into bucket (t / width) mod nbuckets, so far-future
+  // "years" share buckets with the current rotation and are filtered out by
+  // time when a window opens. Empty until the first calendar build.
+  std::vector<std::uint32_t> buckets_;
+  double bucket_width_ = 1.0;
+  std::uint64_t cur_window_ = 0;  ///< absolute index of the open window
+  SimTime win_end_ = 0.0;         ///< exclusive end of the open window
+
+  // Power-of-two circular buffer of same-instant events.
+  std::vector<RingEntry> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_size_ = 0;
 };
 
 }  // namespace lifl::sim

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lifl::sim {
+
+/// Move-only callable with 24 bytes of inline storage — the event-core
+/// replacement for `std::function<void()>`.
+///
+/// `std::function`'s 16-byte small-buffer spills a three-pointer capture to
+/// a heap allocation, and every queue move pays an indirect manager call.
+/// `Task` widens the inline window to 24 bytes while keeping the whole
+/// callable at 32 — an event slab record stays one cache line — and moves
+/// and invokes through a single static vtable.
+class Task {
+ public:
+  Task() noexcept = default;
+  Task(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Task> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Task(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = inline_vtable<Fn>();
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      vt_ = heap_vtable<Fn>();
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Task& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+ private:
+  static constexpr std::size_t kInlineBytes = 24;
+
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  ///< move into dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static const VTable* inline_vtable() noexcept {
+    static constexpr VTable vt = {
+        [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+        [](void* dst, void* src) {
+          Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+          ::new (dst) Fn(std::move(*s));
+          s->~Fn();
+        },
+        [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }};
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const VTable* heap_vtable() noexcept {
+    static constexpr VTable vt = {
+        [](void* p) { (**reinterpret_cast<Fn**>(p))(); },
+        [](void* dst, void* src) {
+          *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+        },
+        [](void* p) { delete *reinterpret_cast<Fn**>(p); }};
+    return &vt;
+  }
+
+  void move_from(Task& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace lifl::sim

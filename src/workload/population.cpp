@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <unordered_set>
 
 namespace lifl::wl {
 
@@ -12,38 +12,52 @@ ClientPopulation ClientPopulation::synthetic(std::size_t count, bool mobile,
                                              sim::Rng& rng,
                                              fl::ParticipantId first_id) {
   ClientPopulation pop;
-  pop.clients_.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    ClientProfile c;
-    c.id = first_id + i;
-    // Lognormal heterogeneity: most clients near nominal speed, a tail of
-    // slow stragglers (sigma larger for mobile devices).
-    const double sigma = mobile ? 0.45 : 0.2;
-    c.speed = std::clamp(rng.lognormal(0.0, sigma), 0.25, 4.0);
-    // Dataset sizes: lognormal around ~600 samples (FEMNIST-like shards).
-    c.samples = static_cast<std::uint32_t>(
-        std::clamp(rng.lognormal(std::log(600.0), 0.5), 50.0, 5000.0));
-    c.mobile = mobile;
-    c.uplink_bytes_per_sec = mobile ? calib::kClientUplinkBytesPerSec
-                                    : calib::kServerUplinkBytesPerSec;
-    pop.clients_.push_back(c);
-  }
+  pop.count_ = count;
+  pop.mobile_ = mobile;
+  pop.first_id_ = first_id;
+  // Derive an independent root stream, consuming one draw from the caller
+  // so successive populations built from the same rng (e.g. the §6.2
+  // mobile/server split) get decorrelated profile streams.
+  pop.base_ = rng.split(rng.next_u64());
   return pop;
+}
+
+ClientProfile ClientPopulation::operator[](std::size_t i) const {
+  sim::Rng r = base_.split(i);
+  ClientProfile c;
+  c.id = first_id_ + i;
+  // Lognormal heterogeneity: most clients near nominal speed, a tail of
+  // slow stragglers (sigma larger for mobile devices).
+  const double sigma = mobile_ ? 0.45 : 0.2;
+  c.speed = std::clamp(r.lognormal(0.0, sigma), 0.25, 4.0);
+  // Dataset sizes: lognormal around ~600 samples (FEMNIST-like shards).
+  c.samples = static_cast<std::uint32_t>(
+      std::clamp(r.lognormal(std::log(600.0), 0.5), 50.0, 5000.0));
+  c.mobile = mobile_;
+  c.uplink_bytes_per_sec = mobile_ ? calib::kClientUplinkBytesPerSec
+                                   : calib::kServerUplinkBytesPerSec;
+  return c;
 }
 
 std::vector<std::size_t> ClientPopulation::sample(std::size_t k,
                                                   sim::Rng& rng) const {
-  k = std::min(k, clients_.size());
-  // Partial Fisher-Yates over an index vector.
-  std::vector<std::size_t> idx(clients_.size());
-  std::iota(idx.begin(), idx.end(), 0);
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(rng.uniform_index(idx.size() - i));
-    std::swap(idx[i], idx[j]);
+  k = std::min(k, count_);
+  // Floyd's sampling without replacement: uniform k-subset in O(k) memory,
+  // with no index vector over the (possibly million-client) population.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(k * 2);
+  for (std::size_t j = count_ - k; j < count_; ++j) {
+    const auto t = static_cast<std::size_t>(rng.uniform_index(j + 1));
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
   }
-  idx.resize(k);
-  return idx;
+  return out;
 }
 
 double ClientPopulation::round_delay_secs(const ClientProfile& c,
@@ -59,6 +73,28 @@ double ClientPopulation::round_delay_secs(const ClientProfile& c,
       std::max(0.1, rng.normal(1.0, calib::kTrainTimeJitter));
   delay += base_train_secs / c.speed * jitter;
   return delay;
+}
+
+double ArrivalProcess::rate(double t) const noexcept {
+  if (t < 0) return 0.0;
+  double r = cfg_.peak_per_sec;
+  if (cfg_.ramp_secs > 0 && t < cfg_.ramp_secs) r *= t / cfg_.ramp_secs;
+  if (cfg_.diurnal_amplitude > 0) {
+    r *= 1.0 + cfg_.diurnal_amplitude *
+                   std::sin(2.0 * M_PI * t / cfg_.diurnal_period_secs);
+  }
+  return std::max(0.0, r);
+}
+
+double ArrivalProcess::next_after(double t, sim::Rng& rng) const {
+  // Lewis-Shedler thinning against the envelope rate. The envelope is tight
+  // (peak * (1 + amplitude)), so the expected number of rejections per
+  // arrival is a small constant.
+  const double envelope = cfg_.peak_per_sec * (1.0 + cfg_.diurnal_amplitude);
+  for (;;) {
+    t += rng.exponential(envelope);
+    if (rng.uniform() * envelope <= rate(t)) return t;
+  }
 }
 
 }  // namespace lifl::wl

@@ -24,21 +24,31 @@ struct ClientProfile {
   double uplink_bytes_per_sec = sim::calib::kServerUplinkBytesPerSec;
 };
 
-/// A synthetic client population standing in for FedScale's 2,800 real
-/// clients: lognormal compute speeds and dataset sizes, plus the
-/// mobile/server availability split of §6.2.
+/// A synthetic client population standing in for FedScale's real clients:
+/// lognormal compute speeds and dataset sizes, plus the mobile/server
+/// availability split of §6.2.
+///
+/// Profiles are *lazy*: the population stores only its parameters and an RNG
+/// root, and `operator[]` derives client `i`'s profile from an independent
+/// per-index RNG stream. A 1M-client campaign therefore holds O(1) memory
+/// per population and O(active clients) in flight, never a resident vector
+/// of one million `ClientProfile`s.
 class ClientPopulation {
  public:
-  /// Build `count` clients. Mobile clients get mobile-grade uplinks and the
-  /// hibernation behavior; ids start at `first_id`.
+  ClientPopulation() = default;
+
+  /// Describe `count` clients. Mobile clients get mobile-grade uplinks and
+  /// the hibernation behavior; ids start at `first_id`.
   static ClientPopulation synthetic(std::size_t count, bool mobile,
                                     sim::Rng& rng,
                                     fl::ParticipantId first_id = 1'000'000);
 
-  const ClientProfile& operator[](std::size_t i) const { return clients_[i]; }
-  std::size_t size() const noexcept { return clients_.size(); }
+  /// Client `i`'s profile, computed on demand (deterministic per index).
+  ClientProfile operator[](std::size_t i) const;
+  std::size_t size() const noexcept { return count_; }
 
   /// Sample `k` distinct client indices (the selector's diversity draw).
+  /// O(k) time and memory (Floyd's algorithm), independent of `size()`.
   std::vector<std::size_t> sample(std::size_t k, sim::Rng& rng) const;
 
   /// Per-round client latency: hibernation (mobile only) + local training,
@@ -47,7 +57,43 @@ class ClientPopulation {
                                  double base_train_secs, sim::Rng& rng);
 
  private:
-  std::vector<ClientProfile> clients_;
+  std::size_t count_ = 0;
+  bool mobile_ = false;
+  fl::ParticipantId first_id_ = 0;
+  sim::Rng base_{0};  ///< root of the per-client profile streams
+};
+
+/// Arrival-process generator for open-loop campaign traffic: a
+/// nonhomogeneous Poisson process whose rate ramps up linearly over
+/// `ramp_secs` and then oscillates with a diurnal wave,
+///
+///   rate(t) = peak_per_sec * min(1, t/ramp) *
+///             (1 + diurnal_amplitude * sin(2*pi*t/diurnal_period)).
+///
+/// Campaigns pull one arrival time at a time (Lewis-Shedler thinning), so a
+/// million-client workload keeps a single pending arrival event rather than
+/// pre-materializing the full schedule.
+class ArrivalProcess {
+ public:
+  struct Config {
+    double peak_per_sec = 100.0;     ///< plateau arrival rate
+    double ramp_secs = 0.0;          ///< linear warm-up to the plateau
+    double diurnal_amplitude = 0.0;  ///< in [0, 1); 0 = flat plateau
+    double diurnal_period_secs = 86'400.0;
+  };
+
+  explicit ArrivalProcess(Config cfg) : cfg_(cfg) {}
+
+  /// Instantaneous arrival rate at time `t`.
+  double rate(double t) const noexcept;
+
+  /// Next arrival strictly after time `t` (thinning against the peak rate).
+  double next_after(double t, sim::Rng& rng) const;
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  Config cfg_;
 };
 
 /// Bins events into fixed windows — the arrival-rate-per-minute series of

@@ -16,8 +16,9 @@ struct World {
   sim::Cluster cluster;
   DataPlane plane;
 
-  explicit World(DataPlaneConfig cfg, std::size_t nodes = 3)
-      : cluster(sim, nodes), plane(cluster, cfg, sim::Rng(12)) {}
+  explicit World(DataPlaneConfig cfg, std::size_t nodes = 3,
+                 sim::NodeConfig node_cfg = sim::NodeConfig{})
+      : cluster(sim, nodes, node_cfg), plane(cluster, cfg, sim::Rng(12)) {}
 };
 
 fl::ModelUpdate update(std::size_t bytes = 10'000'000) {
@@ -118,7 +119,13 @@ TEST_P(BrokerCapacitySweep, DrainScalesWithWorkerThreads) {
   const std::uint32_t cores = GetParam();
   DataPlaneConfig cfg = serverless_plane();
   cfg.broker_cores = cores;
-  World w(cfg, 1);
+  // The property under test is about the broker's worker threads, so give
+  // the node an uncontended kernel path; with the default 2-core kernel
+  // budget the kernel stack (not the broker) bounds the drain and no amount
+  // of broker threads can shorten it.
+  sim::NodeConfig node_cfg;
+  node_cfg.kernel_net_cores = 16;
+  World w(cfg, 1, node_cfg);
   constexpr int kBurst = 8;
   int ready = 0;
   for (int i = 0; i < kBurst; ++i) {

@@ -159,6 +159,162 @@ TEST(Simulator, PendingExcludesCancelled) {
   EXPECT_EQ(sim.pending(), 1u);
 }
 
+TEST(Simulator, ScheduleNowRunsAtCurrentInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] {
+    order.push_back(1);
+    sim.schedule_now([&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, ScheduleNowInterleavesFifoWithTimedEvents) {
+  // A zero-delay event scheduled *during* an event at time T must not
+  // overtake an event already scheduled for T: FIFO is by schedule order,
+  // across the fast-path ring and the timed queue.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] {
+    order.push_back(1);
+    sim.schedule_now([&] { order.push_back(3); });  // ring, seq > B's
+  });
+  sim.schedule_at(5.0, [&] { order.push_back(2); });  // timed, earlier seq
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ZeroDelayChainsStayFifoUnderLoad) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_after(0.0, [&sim, &order, i] {
+      order.push_back(i);
+      if (i % 3 == 0) {
+        sim.schedule_now([&order, i] { order.push_back(1000 + i); });
+      }
+    });
+  }
+  sim.run();
+  // The first 100 dispatches are the original events in schedule order.
+  ASSERT_GE(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CancelOfDispatchedRingEventReturnsFalse) {
+  Simulator sim;
+  EventId id = 0;
+  sim.schedule_at(1.0, [&] { id = sim.schedule_now([] {}); });
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));  // already ran via the fast path
+}
+
+TEST(Simulator, CancelOfStaleIdAfterSlotReuseReturnsFalse) {
+  // Dispatching recycles the event record; an old EventId whose slot was
+  // reused by a newer event must not cancel the newer one.
+  Simulator sim;
+  const EventId old_id = sim.schedule_at(1.0, [] {});
+  sim.run();  // old event runs; its slot returns to the free list
+  bool ran = false;
+  sim.schedule_at(2.0, [&] { ran = true; });  // likely reuses the slot
+  EXPECT_FALSE(sim.cancel(old_id));
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CancelledTombstoneDoesNotResurrect) {
+  // Cancel marks the record; the stale queue handle surfacing later must
+  // be discarded silently, and double-cancel stays false.
+  Simulator sim;
+  std::vector<int> order;
+  const EventId id = sim.schedule_at(1.0, [&] { order.push_back(-1); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, DaemonsOnFastPathDoNotKeepRunAlive) {
+  Simulator sim;
+  int daemon_runs = 0;
+  sim.schedule_daemon_after(0.0, [&] { ++daemon_runs; });  // ring daemon
+  EXPECT_EQ(sim.run(), 0u);  // no regular events: run() must not start
+  EXPECT_EQ(daemon_runs, 0);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.pending_regular(), 0u);
+}
+
+TEST(Simulator, DaemonRingEventsRunWhileRegularWorkRemains) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    // Daemon wake-up on the ring, then more regular work at this instant.
+    sim.schedule_daemon_after(0.0, [&] { order.push_back(10); });
+    sim.schedule_now([&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  sim.run();
+  // The daemon ran (regular work existed behind it), in FIFO position.
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 2}));
+}
+
+TEST(Simulator, RunStopsWithDaemonsStrandedOnRing) {
+  // run() must halt as soon as the last regular event retires even if
+  // daemons sit ready on the fast-path ring.
+  Simulator sim;
+  int daemon_runs = 0;
+  sim.schedule_at(1.0, [&] {
+    sim.schedule_daemon_now([&]() mutable { ++daemon_runs; });
+  });
+  sim.run();
+  EXPECT_EQ(daemon_runs, 0);
+  EXPECT_EQ(sim.pending(), 1u);
+  // A later regular event lets the stranded daemon drain first (FIFO).
+  bool regular_ran = false;
+  sim.schedule_at(2.0, [&] { regular_ran = true; });
+  sim.run();
+  EXPECT_TRUE(regular_ran);
+  EXPECT_EQ(daemon_runs, 1);
+}
+
+TEST(Simulator, SparseScheduleCrossesLongGaps) {
+  // Exercises the calendar's empty-window jump: events separated by huge
+  // gaps relative to the bucket width chosen for the dense prefix.
+  Simulator sim;
+  std::vector<double> fired;
+  for (int i = 0; i < 3000; ++i) {
+    sim.schedule_at(i * 0.001, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.schedule_at(1e6, [&fired, &sim] { fired.push_back(sim.now()); });
+  sim.schedule_at(2e9, [&fired, &sim] { fired.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(fired.size(), 3002u);
+  EXPECT_DOUBLE_EQ(fired[3000], 1e6);
+  EXPECT_DOUBLE_EQ(fired[3001], 2e9);
+  EXPECT_DOUBLE_EQ(sim.now(), 2e9);
+}
+
+TEST(Simulator, RunUntilBoundaryWithFastPathEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_now([&] { order.push_back(2); });
+  });
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  EXPECT_EQ(sim.run_until(2.0), 2u);  // the ring event at t=1 counts
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 // Property sweep: dispatch order equals sorted (time, seq) order for
 // randomized schedules of different sizes.
 class SimulatorOrderProperty : public ::testing::TestWithParam<int> {};
@@ -187,6 +343,43 @@ TEST_P(SimulatorOrderProperty, DispatchOrderIsStableSort) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SimulatorOrderProperty,
                          ::testing::Values(1, 2, 10, 100, 1000, 5000));
+
+// Calendar-scale property: 50k events over a continuous time range with a
+// 25% cancellation mix — dispatch order must still be a stable sort and no
+// cancelled event may fire.
+TEST(Simulator, LargeChurnDispatchOrderIsStableSort) {
+  Simulator sim;
+  std::vector<std::pair<double, int>> fired;
+  std::vector<EventId> to_cancel;
+  std::uint64_t x = 0xC0FFEE;
+  auto next = [&x] {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return x >> 11;
+  };
+  const int n = 50'000;
+  std::vector<bool> cancelled(n, false);
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(next() % 1'000'000) / 1000.0;
+    const EventId id = sim.schedule_at(t, [&fired, t, i] {
+      fired.emplace_back(t, i);
+    });
+    if (next() % 4 == 0) {
+      to_cancel.push_back(id);
+      cancelled[i] = true;
+    }
+  }
+  for (const EventId id : to_cancel) EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(n) - to_cancel.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_FALSE(cancelled[static_cast<std::size_t>(fired[i].second)]);
+    if (i == 0) continue;
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      EXPECT_LT(fired[i - 1].second, fired[i].second);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace lifl::sim

@@ -300,6 +300,10 @@ TEST(TrainingExperimentIntegration, SeedChangesTheRun) {
 TEST(TrainingExperimentIntegration, InjectedDropoutsAreDetectedAndSurvived) {
   auto cfg = small_run();
   cfg.dropout_rate = 0.25;
+  // A 5 s detection window is small against U[0,60] s hibernation noise, so
+  // "dropouts slow the round" would hinge on the seed; 30 s makes every
+  // replacement land safely after the healthy stragglers.
+  cfg.heartbeat_timeout_secs = 30.0;
   TrainingExperiment exp(make_lifl(), cfg);
   const auto r = exp.run();
   ASSERT_EQ(r.rounds.size(), 3u);
