@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregator_runtime_test.dir/tests/aggregator_runtime_test.cpp.o"
+  "CMakeFiles/aggregator_runtime_test.dir/tests/aggregator_runtime_test.cpp.o.d"
+  "aggregator_runtime_test"
+  "aggregator_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregator_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_plane_test.dir/tests/broker_plane_test.cpp.o"
+  "CMakeFiles/broker_plane_test.dir/tests/broker_plane_test.cpp.o.d"
+  "broker_plane_test"
+  "broker_plane_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_plane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

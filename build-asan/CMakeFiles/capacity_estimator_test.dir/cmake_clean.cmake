@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_estimator_test.dir/tests/capacity_estimator_test.cpp.o"
+  "CMakeFiles/capacity_estimator_test.dir/tests/capacity_estimator_test.cpp.o.d"
+  "capacity_estimator_test"
+  "capacity_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

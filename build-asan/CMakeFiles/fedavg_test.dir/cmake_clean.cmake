@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedavg_test.dir/tests/fedavg_test.cpp.o"
+  "CMakeFiles/fedavg_test.dir/tests/fedavg_test.cpp.o.d"
+  "fedavg_test"
+  "fedavg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedavg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

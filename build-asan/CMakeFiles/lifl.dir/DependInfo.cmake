@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/agent.cpp" "CMakeFiles/lifl.dir/src/control/agent.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/control/agent.cpp.o.d"
+  "/root/repo/src/control/capacity_estimator.cpp" "CMakeFiles/lifl.dir/src/control/capacity_estimator.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/control/capacity_estimator.cpp.o.d"
+  "/root/repo/src/control/hierarchy.cpp" "CMakeFiles/lifl.dir/src/control/hierarchy.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/control/hierarchy.cpp.o.d"
+  "/root/repo/src/control/metrics_server.cpp" "CMakeFiles/lifl.dir/src/control/metrics_server.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/control/metrics_server.cpp.o.d"
+  "/root/repo/src/control/placement.cpp" "CMakeFiles/lifl.dir/src/control/placement.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/control/placement.cpp.o.d"
+  "/root/repo/src/control/selector.cpp" "CMakeFiles/lifl.dir/src/control/selector.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/control/selector.cpp.o.d"
+  "/root/repo/src/control/tag.cpp" "CMakeFiles/lifl.dir/src/control/tag.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/control/tag.cpp.o.d"
+  "/root/repo/src/dataplane/cost.cpp" "CMakeFiles/lifl.dir/src/dataplane/cost.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/dataplane/cost.cpp.o.d"
+  "/root/repo/src/dataplane/dataplane.cpp" "CMakeFiles/lifl.dir/src/dataplane/dataplane.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/dataplane/dataplane.cpp.o.d"
+  "/root/repo/src/fl/aggregator_runtime.cpp" "CMakeFiles/lifl.dir/src/fl/aggregator_runtime.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/fl/aggregator_runtime.cpp.o.d"
+  "/root/repo/src/fl/async_engine.cpp" "CMakeFiles/lifl.dir/src/fl/async_engine.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/fl/async_engine.cpp.o.d"
+  "/root/repo/src/fl/checkpoint.cpp" "CMakeFiles/lifl.dir/src/fl/checkpoint.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/fl/checkpoint.cpp.o.d"
+  "/root/repo/src/fl/fedavg.cpp" "CMakeFiles/lifl.dir/src/fl/fedavg.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/fl/fedavg.cpp.o.d"
+  "/root/repo/src/fl/server_optimizer.cpp" "CMakeFiles/lifl.dir/src/fl/server_optimizer.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/fl/server_optimizer.cpp.o.d"
+  "/root/repo/src/ml/accuracy_model.cpp" "CMakeFiles/lifl.dir/src/ml/accuracy_model.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/ml/accuracy_model.cpp.o.d"
+  "/root/repo/src/ml/conv.cpp" "CMakeFiles/lifl.dir/src/ml/conv.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/ml/conv.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "CMakeFiles/lifl.dir/src/ml/dataset.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "CMakeFiles/lifl.dir/src/ml/mlp.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "CMakeFiles/lifl.dir/src/ml/tensor.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/ml/tensor.cpp.o.d"
+  "/root/repo/src/ml/train.cpp" "CMakeFiles/lifl.dir/src/ml/train.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/ml/train.cpp.o.d"
+  "/root/repo/src/sim/cpu_accounting.cpp" "CMakeFiles/lifl.dir/src/sim/cpu_accounting.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/sim/cpu_accounting.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "CMakeFiles/lifl.dir/src/sim/resource.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/lifl.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/systems/aggregation_service.cpp" "CMakeFiles/lifl.dir/src/systems/aggregation_service.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/systems/aggregation_service.cpp.o.d"
+  "/root/repo/src/systems/system_config.cpp" "CMakeFiles/lifl.dir/src/systems/system_config.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/systems/system_config.cpp.o.d"
+  "/root/repo/src/systems/training_experiment.cpp" "CMakeFiles/lifl.dir/src/systems/training_experiment.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/systems/training_experiment.cpp.o.d"
+  "/root/repo/src/workload/population.cpp" "CMakeFiles/lifl.dir/src/workload/population.cpp.o" "gcc" "CMakeFiles/lifl.dir/src/workload/population.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_optimizer_test.dir/tests/server_optimizer_test.cpp.o"
+  "CMakeFiles/server_optimizer_test.dir/tests/server_optimizer_test.cpp.o.d"
+  "server_optimizer_test"
+  "server_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

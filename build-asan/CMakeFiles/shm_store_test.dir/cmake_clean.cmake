@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_store_test.dir/tests/shm_store_test.cpp.o"
+  "CMakeFiles/shm_store_test.dir/tests/shm_store_test.cpp.o.d"
+  "shm_store_test"
+  "shm_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

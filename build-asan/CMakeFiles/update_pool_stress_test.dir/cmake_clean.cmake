@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_pool_stress_test.dir/tests/update_pool_stress_test.cpp.o"
+  "CMakeFiles/update_pool_stress_test.dir/tests/update_pool_stress_test.cpp.o.d"
+  "update_pool_stress_test"
+  "update_pool_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_pool_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
