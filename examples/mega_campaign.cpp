@@ -17,9 +17,16 @@
 // throughput, and the process's peak RSS as evidence of the O(active)
 // memory claim.
 //
+// With `--shards=K` the campaign runs on the sharded simulator core: the 8
+// nodes become 8 independent groups dealt onto K worker threads, leaf
+// aggregates cross groups through conservative-time-window mailboxes, and
+// the results are identical for every K (the group wiring, not the thread
+// count, defines the model) — see src/systems/sharded_campaign.
+//
 // Build & run:  cmake -B build && cmake --build build -j
 //               ./build/examples/mega_campaign            # full 1M clients
 //               ./build/examples/mega_campaign 100000     # quicker slice
+//               ./build/examples/mega_campaign --shards=4 # threaded core
 
 #include <chrono>
 #include <cstdio>
@@ -35,6 +42,7 @@
 #include "src/sim/node.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/systems/sharded_campaign.hpp"
 #include "src/systems/table.hpp"
 #include "src/workload/population.hpp"
 
@@ -181,15 +189,69 @@ std::vector<RoundStats> run_campaign(const CampaignConfig& cfg,
   return stats;
 }
 
+/// Run the campaign on the sharded core and print the per-round table.
+int run_sharded(const CampaignConfig& cfg, std::size_t shards) {
+  sys::ShardedCampaignConfig scfg;
+  scfg.shards = shards;
+  scfg.groups = cfg.nodes;
+  scfg.rounds = cfg.rounds;
+  scfg.updates_per_leaf = cfg.updates_per_leaf;
+  scfg.leaves_per_group = cfg.leaves_per_node;
+  scfg.model_bytes = cfg.model_bytes;
+  scfg.population = cfg.population;
+  scfg.peak_per_sec = cfg.arrivals.peak_per_sec;
+  scfg.ramp_secs = cfg.arrivals.ramp_secs;
+  scfg.diurnal_amplitude = cfg.arrivals.diurnal_amplitude;
+  scfg.diurnal_period_secs = cfg.arrivals.diurnal_period_secs;
+  scfg.gateway_queues = 0;  // one RSS queue per gateway core
+
+  std::printf(
+      "Sharded mega campaign: %zu mobile clients, %zu node groups on %zu "
+      "shard threads, %zu rounds x %zu uploads\n\n",
+      scfg.population, scfg.groups, shards, scfg.rounds,
+      scfg.uploads_per_round());
+
+  const auto r = sys::run_sharded_campaign(scfg);
+  sys::Table t({"round", "completed(sim s)", "samples"});
+  for (std::size_t i = 0; i < r.round_completed_at.size(); ++i) {
+    t.row({std::to_string(i + 1), sys::fmt(r.round_completed_at[i], 2),
+           std::to_string(r.round_samples[i])});
+  }
+  t.print("LIFL hierarchy on the sharded core (identical results for any "
+          "shard count)");
+  std::printf(
+      "%llu events in %.2f s wall (%.2fM events/s aggregate), "
+      "%llu windows, %llu cross-shard posts\n",
+      static_cast<unsigned long long>(r.events), r.wall_secs,
+      r.events / r.wall_secs / 1e6,
+      static_cast<unsigned long long>(r.windows),
+      static_cast<unsigned long long>(r.cross_posts));
+  const long rss = peak_rss_kb();
+  if (rss > 0) std::printf("peak RSS: %.1f MB\n", rss / 1024.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CampaignConfig cfg;
-  if (argc > 1) {
+  std::size_t shards = 0;  // 0 = classic unsharded path
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--shards=", 9) == 0) {
+      char* end = nullptr;
+      shards = std::strtoul(argv[a] + 9, &end, 10);
+      if (end == argv[a] + 9 || *end != '\0' || shards == 0) {
+        std::fprintf(stderr, "usage: %s [population >= 1000] [--shards=K]\n",
+                     argv[0]);
+        return 2;
+      }
+      continue;
+    }
     char* end = nullptr;
-    cfg.population = std::strtoul(argv[1], &end, 10);
-    if (end == argv[1] || *end != '\0' || cfg.population < 1000) {
-      std::fprintf(stderr, "usage: %s [population >= 1000]\n", argv[0]);
+    cfg.population = std::strtoul(argv[a], &end, 10);
+    if (end == argv[a] || *end != '\0' || cfg.population < 1000) {
+      std::fprintf(stderr, "usage: %s [population >= 1000] [--shards=K]\n",
+                   argv[0]);
       return 2;
     }
     // Keep the hierarchy shape; scale the per-round fan-in to the slice.
@@ -198,6 +260,7 @@ int main(int argc, char** argv) {
       cfg.leaves_per_node /= 2;
     }
   }
+  if (shards > 0) return run_sharded(cfg, shards);
 
   std::printf(
       "Mega campaign: %zu mobile clients, %zu nodes, %zu rounds x %zu "

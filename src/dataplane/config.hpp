@@ -37,6 +37,17 @@ struct DataPlaneConfig {
   /// Broker worker threads. Unlike LIFL's gateway (§4.2), the broker is not
   /// vertically scaled with load.
   std::uint32_t broker_cores = 2;
+  /// Cores assigned to each node's gateway at start-up (vertically scaled
+  /// at runtime via DataPlane::set_gateway_cores, §4.2).
+  std::uint32_t gateway_cores = 2;
+  /// RSS receive queues per node gateway: client uploads are hash-steered
+  /// by client id, so one hot node's ingest drains on all its gateway
+  /// cores while each client's uploads stay in order (ordering holds under
+  /// a stable core count; rescaling reprograms the steering like a real
+  /// RSS indirection-table update and may transiently reorder a flow).
+  /// 1 = the classic single-queue gateway (bit-identical to the pre-RSS
+  /// model); 0 = one queue per gateway core (full fan-out).
+  std::uint32_t gateway_queues = 1;
 };
 
 /// Shorthand constructors for the architectures under study (Fig. 5).

@@ -6,35 +6,41 @@
 namespace lifl::dp {
 
 CostStep cpu_step(StepResource where, const sim::Node& node, double cycles,
-                  sim::CostTag tag) {
+                  sim::CostTag tag, std::uint64_t flow) {
   CostStep s;
   s.where = where;
   s.node = node.id();
   s.seconds = cycles / node.config().cpu_hz;
   s.tag = tag;
   s.cycles = cycles;
+  s.flow = flow;
   return s;
 }
 
-void StepRunner::run(std::vector<CostStep> steps, std::function<void()> done) {
-  auto steps_ptr = std::make_shared<std::vector<CostStep>>(std::move(steps));
-  auto done_ptr = std::make_shared<std::function<void()>>(std::move(done));
-  run_from(std::move(steps_ptr), 0, std::move(done_ptr));
+void StepRunner::run(std::vector<CostStep> steps, sim::Task done) {
+  auto flight = std::make_shared<Flight>();
+  flight->steps = std::move(steps);
+  flight->done = std::move(done);
+  dispatch(flight);
 }
 
-void StepRunner::run_from(std::shared_ptr<std::vector<CostStep>> steps,
-                          std::size_t i,
-                          std::shared_ptr<std::function<void()>> done) {
-  if (i >= steps->size()) {
-    if (*done) (*done)();
+void StepRunner::advance(const std::shared_ptr<Flight>& f) {
+  // The step that just finished service bills its cycles to the node it
+  // ran on, then the pipeline moves to the next hop.
+  const CostStep& s = f->steps[f->i];
+  if (s.cycles > 0) cluster_.node(s.node).cpu().add(s.tag, s.cycles);
+  ++f->i;
+  dispatch(f);
+}
+
+void StepRunner::dispatch(const std::shared_ptr<Flight>& f) {
+  if (f->i >= f->steps.size()) {
+    if (f->done) f->done();
     return;
   }
-  const CostStep& s = (*steps)[i];
+  const CostStep& s = f->steps[f->i];
   sim::Node& node = cluster_.node(s.node);
-  auto next = [this, steps, i, done, &node, tag = s.tag, cycles = s.cycles]() {
-    if (cycles > 0) node.cpu().add(tag, cycles);
-    run_from(steps, i + 1, done);
-  };
+  NextFn next{this, f};
   switch (s.where) {
     case StepResource::kCores:
       node.cores().acquire(s.seconds, std::move(next));
@@ -46,7 +52,7 @@ void StepRunner::run_from(std::shared_ptr<std::vector<CostStep>> steps,
       node.nic().acquire(s.seconds, std::move(next));
       break;
     case StepResource::kGateway:
-      gateways_(s.node).acquire(s.seconds, std::move(next));
+      gateways_(s.node, s.flow).acquire(s.seconds, std::move(next));
       break;
     case StepResource::kBroker:
       broker_().acquire(s.seconds, std::move(next));

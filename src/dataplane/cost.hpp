@@ -29,20 +29,25 @@ struct CostStep {
   double seconds = 0.0;  ///< service time on the resource
   sim::CostTag tag = sim::CostTag::kKernelNet;
   double cycles = 0.0;   ///< billed to the node's CPU ledger
+  /// Flow key for RSS-steered resources (kGateway): the client/participant
+  /// id whose queue this step must execute on.
+  std::uint64_t flow = 0;
 };
 
 /// Convenience: make a CPU-type step from cycles (service time = cycles/hz).
 CostStep cpu_step(StepResource where, const sim::Node& node, double cycles,
-                  sim::CostTag tag);
+                  sim::CostTag tag, std::uint64_t flow = 0);
 
 /// Runs `steps` sequentially on the cluster's resources, then `done`.
 ///
 /// The gateway and broker resources are external to `sim::Node`, so callers
-/// provide resolvers mapping StepResource::kGateway (per node) and
-/// StepResource::kBroker (cluster-wide) to the right Resource.
+/// provide resolvers mapping StepResource::kGateway (per node and flow —
+/// the gateway is an RSS multi-queue) and StepResource::kBroker
+/// (cluster-wide) to the right Resource.
 class StepRunner {
  public:
-  using GatewayResolver = std::function<sim::Resource&(sim::NodeId)>;
+  using GatewayResolver =
+      std::function<sim::Resource&(sim::NodeId, std::uint64_t flow)>;
   using BrokerResolver = std::function<sim::Resource&()>;
 
   StepRunner(sim::Cluster& cluster, GatewayResolver gateways,
@@ -51,11 +56,26 @@ class StepRunner {
         gateways_(std::move(gateways)),
         broker_(std::move(broker)) {}
 
-  void run(std::vector<CostStep> steps, std::function<void()> done);
+  void run(std::vector<CostStep> steps, sim::Task done);
 
  private:
-  void run_from(std::shared_ptr<std::vector<CostStep>> steps, std::size_t i,
-                std::shared_ptr<std::function<void()>> done);
+  /// One in-flight pipeline: a single allocation carries the steps and the
+  /// completion across every hop (the continuation each Resource holds is
+  /// a 16-byte {runner, flight} trampoline — Task-inline, so a transfer
+  /// costs one allocation total instead of one per step).
+  struct Flight {
+    std::vector<CostStep> steps;
+    std::size_t i = 0;
+    sim::Task done;
+  };
+  struct NextFn {
+    StepRunner* r;
+    std::shared_ptr<Flight> f;
+    void operator()() const { r->advance(f); }
+  };
+
+  void advance(const std::shared_ptr<Flight>& f);
+  void dispatch(const std::shared_ptr<Flight>& f);
 
   sim::Cluster& cluster_;
   GatewayResolver gateways_;

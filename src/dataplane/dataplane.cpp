@@ -16,13 +16,15 @@ DataPlane::DataPlane(sim::Cluster& cluster, DataPlaneConfig cfg, sim::Rng rng)
       broker_svc_(cluster.sim(), "broker", cfg.broker_cores),
       runner_(
           cluster,
-          [this](sim::NodeId id) -> sim::Resource& { return env(id).gateway; },
+          [this](sim::NodeId id, std::uint64_t flow) -> sim::Resource& {
+            return env(id).gateway.queue_for(flow);
+          },
           [this]() -> sim::Resource& { return broker_svc_; }) {
   envs_.reserve(cluster.size());
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     envs_.push_back(std::make_unique<NodeEnv>(
         cluster.sim(), static_cast<sim::NodeId>(i), rng.split(i),
-        /*gateway_cores=*/2));
+        cfg_.gateway_cores, cfg_.gateway_queues));
   }
   if (cfg_.use_broker) {
     // The broker is the single stateful, always-on component of the plane
@@ -183,7 +185,8 @@ std::vector<CostStep> DataPlane::intra_node_steps(sim::Node& node,
 
 std::vector<CostStep> DataPlane::inter_node_steps(sim::Node& src,
                                                   sim::Node& dst,
-                                                  std::size_t bytes) {
+                                                  std::size_t bytes,
+                                                  std::uint64_t flow) {
   const auto b = static_cast<double>(bytes);
   std::vector<CostStep> steps;
   const bool lifl = cfg_.plane == PlaneKind::kLifl;
@@ -195,7 +198,7 @@ std::vector<CostStep> DataPlane::inter_node_steps(sim::Node& src,
                               calib::kGatewayTransformCyclesPerByte +
                               calib::kSerializeCyclesPerByte) *
                                  b,
-                             CostTag::kGateway));
+                             CostTag::kGateway, flow));
   } else {
     steps.push_back(cpu_step(StepResource::kCores, src,
                              calib::kSerializeCyclesPerByte * b,
@@ -237,7 +240,7 @@ std::vector<CostStep> DataPlane::inter_node_steps(sim::Node& src,
                               calib::kGatewayTransformCyclesPerByte +
                               calib::kShmWriteCyclesPerByte) *
                                  b,
-                             CostTag::kGateway));
+                             CostTag::kGateway, flow));
     steps.push_back(cpu_step(
         StepResource::kKernelNet, dst,
         calib::kSkmsgNotifyCycles + calib::kEbpfSidecarEventCycles,
@@ -251,7 +254,8 @@ std::vector<CostStep> DataPlane::inter_node_steps(sim::Node& src,
 }
 
 std::vector<CostStep> DataPlane::ingest_steps(sim::Node& node,
-                                              std::size_t bytes) {
+                                              std::size_t bytes,
+                                              std::uint64_t flow) {
   const auto b = static_cast<double>(bytes);
   std::vector<CostStep> steps;
   switch (cfg_.plane) {
@@ -259,7 +263,8 @@ std::vector<CostStep> DataPlane::ingest_steps(sim::Node& node,
       // Kernel receive path for the client's TCP stream, then one-time
       // payload processing at the gateway (§4.2 / Appendix C): terminate
       // the client stream, deserialize + convert, then write the NumpyArray
-      // into shm. Consumers only pay a cheap shm read after.
+      // into shm. Consumers only pay a cheap shm read after. The gateway
+      // step executes on the RSS queue the client's flow hashes to.
       steps.push_back(cpu_step(
           StepResource::kKernelNet, node,
           calib::kKernelRxCyclesPerByte * b + calib::kKernelFixedCycles,
@@ -269,7 +274,7 @@ std::vector<CostStep> DataPlane::ingest_steps(sim::Node& node,
                                 calib::kDeserializeCyclesPerByte +
                                 calib::kShmWriteCyclesPerByte) *
                                    b,
-                               CostTag::kGateway));
+                               CostTag::kGateway, flow));
       break;
     case PlaneKind::kServerful:
     case PlaneKind::kServerless:
@@ -306,7 +311,7 @@ std::vector<CostStep> DataPlane::ingest_steps(sim::Node& node,
 
 void DataPlane::send(fl::ParticipantId src, sim::NodeId src_node,
                      fl::ParticipantId dst, fl::ModelUpdate update,
-                     std::function<void()> on_delivered) {
+                     sim::Task on_delivered) {
   auto it = consumers_.find(dst);
   if (it == consumers_.end()) {
     throw std::invalid_argument("DataPlane::send: unknown destination " +
@@ -342,7 +347,9 @@ void DataPlane::send(fl::ParticipantId src, sim::NodeId src_node,
       // the remote gateway (Appendix A).
       attach_shm_lease(dst_node, update);
     }
-    steps = inter_node_steps(snode, dnode, bytes);
+    // Gateway hops steer by the destination participant: one aggregator's
+    // inbound transfers stay ordered on one queue.
+    steps = inter_node_steps(snode, dnode, bytes, dst);
   }
   if (cfg_.use_broker) {
     env(cfg_.broker_node).broker.buffer(bytes);
@@ -359,8 +366,8 @@ void DataPlane::send(fl::ParticipantId src, sim::NodeId src_node,
 }
 
 void DataPlane::deliver(sim::NodeId dst_node, fl::ParticipantId dst,
-                        fl::ModelUpdate update, std::function<void()> done) {
-  const Sockmap::DeliverFn* sock = env(dst_node).sockmap.lookup(dst);
+                        fl::ModelUpdate update, sim::Task done) {
+  Sockmap::DeliverFn* sock = env(dst_node).sockmap.lookup(dst);
   if (sock == nullptr) {
     // Destination disappeared mid-flight (scale-down / failure): the update
     // falls back into the node pool so a successor can aggregate it.
@@ -374,7 +381,7 @@ void DataPlane::deliver(sim::NodeId dst_node, fl::ParticipantId dst,
 
 void DataPlane::client_upload(sim::NodeId dst_node, fl::ModelUpdate update,
                               double uplink_bytes_per_sec,
-                              std::function<void()> on_enqueued) {
+                              sim::Task on_enqueued) {
   const std::size_t bytes = update.logical_bytes;
   sim::Node& dnode = cluster_.node(dst_node);
   // Gateways and brokers terminate the client stream; on a bare serverful
@@ -390,7 +397,7 @@ void DataPlane::client_upload(sim::NodeId dst_node, fl::ModelUpdate update,
   wire.node = dst_node;
   wire.seconds = static_cast<double>(bytes) / uplink_bytes_per_sec;
   steps.push_back(wire);
-  auto ingest = ingest_steps(dnode, bytes);
+  auto ingest = ingest_steps(dnode, bytes, update.producer);
   steps.insert(steps.end(), ingest.begin(), ingest.end());
 
   // A brokered upload rests in the broker's buffers until a consumer drains
@@ -413,7 +420,7 @@ void DataPlane::client_upload(sim::NodeId dst_node, fl::ModelUpdate update,
 }
 
 void DataPlane::consume(sim::NodeId node, const fl::ModelUpdate& update,
-                        std::function<void()> ready) {
+                        sim::Task ready) {
   if (!cfg_.use_broker) {
     // LIFL: the consumer receives the 16-byte key; the payload stays put in
     // shm. SF monolith: the queue is the aggregator's own in-memory queue.

@@ -45,14 +45,17 @@ class DataPlane {
   /// Everything the plane keeps per worker node.
   struct NodeEnv {
     NodeEnv(sim::Simulator& sim, sim::NodeId id, sim::Rng rng,
-            std::uint32_t gateway_cores)
+            std::uint32_t gateway_cores, std::uint32_t gateway_queues)
         : store(rng),
           pool(sim),
-          gateway(sim, "node" + std::to_string(id) + ".gw", gateway_cores) {}
+          gateway(sim, "node" + std::to_string(id) + ".gw", gateway_cores,
+                  gateway_queues) {}
 
     shm::ObjectStore store;     ///< shared-memory object store (§4.1)
     UpdatePool pool;            ///< in-place message queue of the node (§4.2)
-    sim::Resource gateway;      ///< gateway cores; vertically scaled (§4.2)
+    /// Gateway cores behind RSS receive queues (client uploads steer by
+    /// client id); vertically scaled (§4.2).
+    sim::MultiQueueResource gateway;
     Sockmap sockmap;            ///< local routes (Appendix A)
     InterNodeRoutes remote_routes;  ///< gateway's inter-node routing table
     MetricsMap metrics;         ///< eBPF metrics map (§4.3)
@@ -85,14 +88,15 @@ class DataPlane {
   /// inter-node (gateway to gateway). `on_delivered` fires when the update
   /// reaches the destination runtime's queue (before its Recv processing).
   void send(fl::ParticipantId src, sim::NodeId src_node, fl::ParticipantId dst,
-            fl::ModelUpdate update, std::function<void()> on_delivered = {});
+            fl::ModelUpdate update, sim::Task on_delivered = {});
 
   /// Client upload into `dst_node`'s pending pool through the node gateway
-  /// (or broker path on baseline planes). Client-side costs are excluded,
+  /// (or broker path on baseline planes); the upload steers to the gateway
+  /// RSS queue of `update.producer`. Client-side costs are excluded,
   /// matching Appendix F.
   void client_upload(sim::NodeId dst_node, fl::ModelUpdate update,
                      double uplink_bytes_per_sec,
-                     std::function<void()> on_enqueued = {});
+                     sim::Task on_enqueued = {});
 
   /// Deposit an update directly into `node`'s pool as if it had already
   /// been ingested (in-place queued in shm on the LIFL plane), at zero
@@ -116,7 +120,7 @@ class DataPlane {
   /// service plus kernel/wire hops to the consumer — the "inefficient
   /// message queuing" overhead of §2.3.
   void consume(sim::NodeId node, const fl::ModelUpdate& update,
-               std::function<void()> ready);
+               sim::Task ready);
 
   /// Record an aggregation-task execution time observed by the sidecar
   /// attached to an aggregator on `node` (§4.3): event-driven metric write.
@@ -146,14 +150,16 @@ class DataPlane {
 
  private:
   void deliver(sim::NodeId dst_node, fl::ParticipantId dst,
-               fl::ModelUpdate update, std::function<void()> done);
+               fl::ModelUpdate update, sim::Task done);
   /// Put the update payload into `node`'s store and attach a release lease.
   void attach_shm_lease(sim::NodeId node, fl::ModelUpdate& update);
 
   std::vector<CostStep> intra_node_steps(sim::Node& node, std::size_t bytes);
   std::vector<CostStep> inter_node_steps(sim::Node& src, sim::Node& dst,
-                                         std::size_t bytes);
-  std::vector<CostStep> ingest_steps(sim::Node& node, std::size_t bytes);
+                                         std::size_t bytes,
+                                         std::uint64_t flow);
+  std::vector<CostStep> ingest_steps(sim::Node& node, std::size_t bytes,
+                                     std::uint64_t flow);
   /// Appends the broker leg of a brokered path: hop to the broker node if
   /// needed, broker processing on the broker service threads, then the hop
   /// from the broker to `dst` (Fig. 2(b) indirection).

@@ -1,12 +1,12 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <utility>
 #include <vector>
 
 #include "src/fl/model_update.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/sim/task.hpp"
 
 namespace lifl::dp {
 
@@ -21,7 +21,10 @@ namespace lifl::dp {
 /// aggregator in-memory queue, with costs billed by the plane.
 class UpdatePool {
  public:
-  using Waiter = std::function<void(fl::ModelUpdate)>;
+  /// Consumer callback. A `sim::TaskFn` (24-byte inline, move-only): the
+  /// aggregator's pool waiter is a 16-byte {ctx} functor, so parking and
+  /// waking a consumer never heap-allocates for the callable itself.
+  using Waiter = sim::TaskFn<fl::ModelUpdate>;
 
   explicit UpdatePool(sim::Simulator& sim) : sim_(sim) {}
 
@@ -72,7 +75,7 @@ class UpdatePool {
   /// (immediately if it already does). Lazy aggregation tasks use this to
   /// defer consuming until their whole batch is queued (Fig. 1 "lazy":
   /// updates queue at the broker until the aggregator is ready for them).
-  void when_depth(std::size_t n, std::function<void()> fn) {
+  void when_depth(std::size_t n, sim::Task fn) {
     if (entries_.size() >= n) {
       sim_.schedule_now(std::move(fn));
       return;
@@ -94,16 +97,17 @@ class UpdatePool {
 
   struct DepthWatcher {
     std::size_t depth;
-    std::function<void()> fn;
+    sim::Task fn;
   };
 
   /// Fire every watcher satisfied by the current depth as ONE batched
   /// zero-delay event (registration order preserved) instead of an event
   /// per watcher: a push that releases a whole lazy-aggregation fan-in
-  /// costs a single wake-up.
+  /// costs a single wake-up (and the batch vector is 24 bytes — the wake
+  /// event's callable stays Task-inline).
   void wake_depth_watchers() {
     const std::size_t depth = entries_.size();
-    std::vector<std::function<void()>> due;
+    std::vector<sim::Task> due;
     for (std::size_t i = 0; i < depth_watchers_.size();) {
       if (depth >= depth_watchers_[i].depth) {
         due.push_back(std::move(depth_watchers_[i].fn));

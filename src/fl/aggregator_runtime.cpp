@@ -23,10 +23,38 @@ AggregatorRuntime::AggregatorRuntime(dp::DataPlane& plane, Config cfg)
     : plane_(plane),
       sim_(plane.cluster().sim()),
       cfg_(std::move(cfg)),
-      alive_(std::make_shared<bool>(true)) {
+      ctx_(std::make_shared<Ctx>(Ctx{this, &plane, cfg_.node})) {
   if (cfg_.goal == 0) {
     throw std::invalid_argument("AggregatorRuntime: goal must be >= 1");
   }
+}
+
+void AggregatorRuntime::PoolWaiter::operator()(ModelUpdate u) const {
+  if (c->rt == nullptr) {
+    // Instance went away; put the update back for a successor.
+    c->plane->env(c->node).pool.push(std::move(u));
+    return;
+  }
+  // Taking the update out of the queue is a broker delivery on brokered
+  // planes and free under LIFL's in-place queuing (§4.2).
+  auto shared = std::make_shared<ModelUpdate>(std::move(u));
+  c->plane->consume(c->node, *shared, ConsumeReady{c, shared});
+}
+
+void AggregatorRuntime::ConsumeReady::operator()() const {
+  if (c->rt == nullptr) {
+    c->plane->env(c->node).pool.push(std::move(*u));
+    return;
+  }
+  c->rt->deliver(std::move(*u));
+}
+
+void AggregatorRuntime::RecvDone::operator()() const {
+  if (c->rt != nullptr) c->rt->on_recv_done();
+}
+
+void AggregatorRuntime::AggDone::operator()() const {
+  if (c->rt != nullptr) c->rt->on_agg_done();
 }
 
 AggregatorRuntime::~AggregatorRuntime() {
@@ -36,7 +64,7 @@ AggregatorRuntime::~AggregatorRuntime() {
 void AggregatorRuntime::start() {
   if (started_) return;
   started_ = true;
-  *alive_ = true;
+  ctx_->rt = this;
   // Register the socket so producers can reach us even before we're ready:
   // updates delivered during cold start buffer in the FIFO, exactly like
   // messages queueing while a function boots.
@@ -65,11 +93,12 @@ void AggregatorRuntime::begin_cold_start() {
     on_ready();
     return;
   }
-  sim_.schedule_after(cfg_.cold_start_secs, [this, alive = alive_]() {
-    if (!*alive) return;
-    plane_.cluster().node(cfg_.node).cpu().add(CostTag::kStartup,
-                                               cfg_.cold_start_cycles);
-    on_ready();
+  sim_.schedule_after(cfg_.cold_start_secs, [c = ctx_]() {
+    if (c->rt == nullptr) return;
+    AggregatorRuntime& rt = *c->rt;
+    rt.plane_.cluster().node(rt.cfg_.node).cpu().add(
+        CostTag::kStartup, rt.cfg_.cold_start_cycles);
+    rt.on_ready();
   });
 }
 
@@ -82,7 +111,7 @@ void AggregatorRuntime::stop() {
   if (!started_) return;
   started_ = false;
   ready_ = false;
-  *alive_ = false;  // invalidates in-flight pool waiters and timers
+  ctx_->rt = nullptr;  // invalidates in-flight pool waiters and timers
   plane_.unregister_consumer(cfg_.id);
   // Return unprocessed updates to the node pool: the runtime is stateless,
   // so a replacement can pick them up with no state synchronization. An
@@ -106,7 +135,7 @@ void AggregatorRuntime::convert_role(Config cfg) {
   if (started_) {
     plane_.unregister_consumer(cfg_.id);
   }
-  *alive_ = false;  // invalidate any stale waiters/timers of the old role
+  ctx_->rt = nullptr;  // invalidate any stale waiters/timers of the old role
   // Stateless: drop all aggregation state; keep the warm sandbox. Updates
   // still buffered (none, if the caller honored idle()) go back to the pool.
   while (!fifo_.empty()) {
@@ -129,7 +158,7 @@ void AggregatorRuntime::convert_role(Config cfg) {
   started_ = false;
   cold_start_begun_ = false;
   ready_ = false;
-  alive_ = std::make_shared<bool>(true);
+  ctx_ = std::make_shared<Ctx>(Ctx{this, &plane_, cfg_.node});
   start();
 }
 
@@ -141,33 +170,14 @@ void AggregatorRuntime::maybe_pull() {
     // Lazy just-in-time consumption (Fig. 1): updates queue in the message
     // broker / shm pool until the aggregation task's whole batch is there,
     // then the task drains it. (Eager tasks consume per arrival instead.)
-    pool.when_depth(cfg_.goal, [this, alive = alive_]() {
-      if (!*alive) return;
-      maybe_pull();
+    pool.when_depth(cfg_.goal, [c = ctx_]() {
+      if (c->rt != nullptr) c->rt->maybe_pull();
     });
     return;
   }
-  auto* plane = &plane_;
-  const sim::NodeId node = cfg_.node;
   while (pulled_ < cfg_.goal) {
     ++pulled_;
-    pool.pop_async([this, plane, node, alive = alive_](ModelUpdate u) {
-      if (!*alive) {
-        // Instance went away; put the update back for a successor.
-        plane->env(node).pool.push(std::move(u));
-        return;
-      }
-      // Taking the update out of the queue is a broker delivery on
-      // brokered planes and free under LIFL's in-place queuing (§4.2).
-      auto shared = std::make_shared<ModelUpdate>(std::move(u));
-      plane->consume(node, *shared, [this, plane, node, alive, shared]() {
-        if (!*alive) {
-          plane->env(node).pool.push(std::move(*shared));
-          return;
-        }
-        deliver(std::move(*shared));
-      });
-    });
+    pool.pop_async(PoolWaiter{ctx_});
   }
 }
 
@@ -214,41 +224,44 @@ void AggregatorRuntime::process_one(ModelUpdate u) {
   processing_ = true;
   in_flight_ = std::move(u);
   sim::Node& node = plane_.cluster().node(cfg_.node);
-  const std::size_t bytes = in_flight_->logical_bytes;
 
   // ---- Recv step: take ownership of the payload (shm map / deserialize).
-  const double recv_cycles = plane_.recv_cycles(*in_flight_);
-  const double recv_secs = recv_cycles / node.config().cpu_hz;
-  node.cores().acquire(recv_secs, [this, &node, bytes, recv_cycles, recv_secs,
-                                   alive = alive_]() {
-    if (!*alive) return;
-    node.cpu().add(CostTag::kSerialization, recv_cycles);
-    busy_secs_ += recv_secs;
+  // The step's cost rides in members (the pipeline has one step in flight
+  // at a time), so the completion is a 16-byte functor — no allocation.
+  step_cycles_ = plane_.recv_cycles(*in_flight_);
+  step_secs_ = step_cycles_ / node.config().cpu_hz;
+  node.cores().acquire(step_secs_, RecvDone{ctx_});
+}
 
-    // ---- Agg step: fold into the cumulative weighted average.
-    const double agg_cycles =
-        calib::kAggregateCyclesPerByte * static_cast<double>(bytes) +
-        calib::kAggregateFixedCycles;
-    const double agg_secs = agg_cycles / node.config().cpu_hz;
-    node.cores().acquire(agg_secs, [this, &node, agg_cycles, agg_secs,
-                                    alive]() {
-      if (!*alive) return;
-      node.cpu().add(CostTag::kAggregator, agg_cycles);
-      busy_secs_ += agg_secs;
-      acc_.add(*in_flight_);
-      ++aggregated_;
-      // The eBPF sidecar observes the execution and records metrics (§4.3).
-      plane_.record_agg_exec(cfg_.node, agg_secs);
-      // Dropping the update releases its shm lease (buffer recycled).
-      in_flight_.reset();
-      processing_ = false;
-      if (aggregated_ >= cfg_.goal) {
-        do_send();
-      } else {
-        pump();
-      }
-    });
-  });
+void AggregatorRuntime::on_recv_done() {
+  sim::Node& node = plane_.cluster().node(cfg_.node);
+  node.cpu().add(CostTag::kSerialization, step_cycles_);
+  busy_secs_ += step_secs_;
+
+  // ---- Agg step: fold into the cumulative weighted average.
+  step_cycles_ = calib::kAggregateCyclesPerByte *
+                     static_cast<double>(in_flight_->logical_bytes) +
+                 calib::kAggregateFixedCycles;
+  step_secs_ = step_cycles_ / node.config().cpu_hz;
+  node.cores().acquire(step_secs_, AggDone{ctx_});
+}
+
+void AggregatorRuntime::on_agg_done() {
+  sim::Node& node = plane_.cluster().node(cfg_.node);
+  node.cpu().add(CostTag::kAggregator, step_cycles_);
+  busy_secs_ += step_secs_;
+  acc_.add(*in_flight_);
+  ++aggregated_;
+  // The eBPF sidecar observes the execution and records metrics (§4.3).
+  plane_.record_agg_exec(cfg_.node, step_secs_);
+  // Dropping the update releases its shm lease (buffer recycled).
+  in_flight_.reset();
+  processing_ = false;
+  if (aggregated_ >= cfg_.goal) {
+    do_send();
+  } else {
+    pump();
+  }
 }
 
 void AggregatorRuntime::do_send() {

@@ -112,11 +112,45 @@ class AggregatorRuntime {
   sim::SimTime busy_secs() const noexcept { return busy_secs_; }
 
  private:
+  /// Shared liveness + routing context for callbacks parked in simulator
+  /// queues. `rt` is nulled on stop()/convert_role(); `plane`/`node` stay
+  /// valid (the plane outlives every runtime), so a late callback can still
+  /// recycle its update into the node pool. Hot-path callbacks capture one
+  /// shared_ptr to this block (16 bytes — `sim::Task`-inline), replacing
+  /// the `std::function` closures that used to heap-allocate per step.
+  struct Ctx {
+    AggregatorRuntime* rt;
+    dp::DataPlane* plane;
+    sim::NodeId node;
+  };
+  /// Pool-waiter callback (16 bytes; UpdatePool waiter slot stays inline).
+  struct PoolWaiter {
+    std::shared_ptr<Ctx> c;
+    void operator()(ModelUpdate u) const;
+  };
+  /// Broker-consume continuation (carries the drained update).
+  struct ConsumeReady {
+    std::shared_ptr<Ctx> c;
+    std::shared_ptr<ModelUpdate> u;
+    void operator()() const;
+  };
+  /// Recv / Agg step completions (16 bytes; core-pool slab stays inline).
+  struct RecvDone {
+    std::shared_ptr<Ctx> c;
+    void operator()() const;
+  };
+  struct AggDone {
+    std::shared_ptr<Ctx> c;
+    void operator()() const;
+  };
+
   void deliver(ModelUpdate u);
   void begin_cold_start();
   void on_ready();
   void pump();
   void process_one(ModelUpdate u);
+  void on_recv_done();
+  void on_agg_done();
   void do_send();
   void maybe_pull();
 
@@ -126,7 +160,12 @@ class AggregatorRuntime {
   FedAvgAccumulator acc_;
   std::deque<ModelUpdate> fifo_;
   std::optional<ModelUpdate> in_flight_;  ///< update mid-Recv/Agg
-  std::shared_ptr<bool> alive_;  ///< guards pool waiters across stop()
+  std::shared_ptr<Ctx> ctx_;  ///< guards pool waiters across stop()
+
+  // Cost of the step currently in service on the node cores (the runtime
+  // is a single-threaded pipeline: at most one step is in flight).
+  double step_cycles_ = 0.0;
+  double step_secs_ = 0.0;
 
   bool started_ = false;
   bool ready_ = false;

@@ -25,6 +25,14 @@ inline constexpr double kNicBytesPerSec = 1.25e9; ///< 10 Gb/s full duplex
 /// Kernel network processing budget per node (ksoftirqd-style): concurrent
 /// kernel transfers contend for this, producing the Fig. 4 effect.
 inline constexpr unsigned kKernelNetCores = 2;
+/// Minimum latency of any message that crosses node groups: propagation +
+/// switching + the receive-side kernel wake-up of a store-and-forward hop
+/// (CloudLab-style cluster RTTs sit in the hundreds of microseconds). No
+/// cross-group transfer can complete faster, which makes this the
+/// conservative time-window *lookahead* of the sharded simulator: a shard
+/// may run `lookahead` ahead of the others without missing an incoming
+/// event.
+inline constexpr double kCrossShardLatencySecs = 500e-6;
 
 // -------------------------------------------------- LIFL shared-memory path
 /// Producer-side cost of materializing an update into the shm object store

@@ -1,5 +1,6 @@
 #include "src/sim/resource.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace lifl::sim {
@@ -17,7 +18,8 @@ void Resource::account() noexcept {
 }
 
 void Resource::acquire(SimTime service_time, Callback on_complete) {
-  Job job{service_time < 0 ? 0 : service_time, sim_.now(), std::move(on_complete)};
+  Job job{service_time < 0 ? 0 : service_time, sim_.now(),
+          std::move(on_complete)};
   if (busy_ < capacity_) {
     start(std::move(job));
   } else {
@@ -25,19 +27,34 @@ void Resource::acquire(SimTime service_time, Callback on_complete) {
   }
 }
 
+std::uint32_t Resource::park(Callback done) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    in_service_[slot] = std::move(done);
+  } else {
+    slot = static_cast<std::uint32_t>(in_service_.size());
+    in_service_.push_back(std::move(done));
+  }
+  return slot;
+}
+
 void Resource::start(Job job) {
   account();
   ++busy_;
   total_wait_ += sim_.now() - job.enqueued_at;
-  // Move the callback into the completion event; `this` outlives the
-  // simulation by construction (resources are owned by nodes/the cluster).
-  sim_.schedule_after(job.service, [this, done = std::move(job.done)]() mutable {
-    on_finish();
-    if (done) done();
-  });
+  // Park the completion in the slab; the scheduled event is a 12-byte
+  // trampoline (always Task-inline), so the hot path never heap-allocates.
+  // `this` outlives the simulation by construction (resources are owned by
+  // nodes/the cluster).
+  const std::uint32_t slot = park(std::move(job.done));
+  sim_.schedule_after(job.service, FinishFn{this, slot});
 }
 
-void Resource::on_finish() {
+void Resource::on_finish(std::uint32_t slot) {
+  Callback done = std::move(in_service_[slot]);
+  free_slots_.push_back(slot);
   account();
   --busy_;
   ++completed_;
@@ -46,6 +63,7 @@ void Resource::on_finish() {
     queue_.pop_front();
     start(std::move(next));
   }
+  if (done) done();
 }
 
 void Resource::set_capacity(std::uint32_t capacity) {
@@ -60,8 +78,7 @@ void Resource::set_capacity(std::uint32_t capacity) {
 
 SimTime Resource::busy_time() const noexcept {
   const SimTime now = sim_.now();
-  return busy_integral_ + static_cast<double>(busy_) * (now - last_change_) -
-         0.0;
+  return busy_integral_ + static_cast<double>(busy_) * (now - last_change_);
 }
 
 double Resource::utilization() const noexcept {
@@ -75,6 +92,93 @@ void Resource::reset_stats() noexcept {
   busy_integral_ = 0.0;
   total_wait_ = 0.0;
   completed_ = 0;
+  stats_epoch_ = sim_.now();
+}
+
+// ---------------------------------------------------------------------------
+
+MultiQueueResource::MultiQueueResource(Simulator& sim, std::string name,
+                                       std::uint32_t cores,
+                                       std::uint32_t queues)
+    : sim_(sim), name_(std::move(name)), cores_(std::max(cores, 1u)) {
+  std::uint32_t n = queues == 0 ? cores_ : queues;
+  n = std::max(1u, std::min(n, cores_));
+  queues_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<Resource>(
+        sim_, n == 1 ? name_ : name_ + ".q" + std::to_string(i), 0));
+  }
+  distribute();
+  stats_epoch_ = sim_.now();
+}
+
+void MultiQueueResource::distribute() {
+  const std::size_t n = queues_.size();
+  live_ = std::min<std::size_t>(n, std::max(cores_, 1u));
+  const auto base = cores_ / static_cast<std::uint32_t>(live_);
+  const auto extra = cores_ % static_cast<std::uint32_t>(live_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < live_) {
+      queues_[i]->set_capacity(base + (i < extra ? 1 : 0));
+    } else {
+      // Dropped from the steering domain: no new flows arrive, but jobs
+      // already steered here must not stall — keep one server until the
+      // queue drains (the surplus is reclaimed on a later set_capacity).
+      const bool empty =
+          queues_[i]->busy() == 0 && queues_[i]->queue_length() == 0;
+      queues_[i]->set_capacity(empty ? 0 : 1);
+    }
+  }
+}
+
+void MultiQueueResource::set_capacity(std::uint32_t cores) {
+  cores_ = std::max(cores, 1u);
+  distribute();
+}
+
+std::uint32_t MultiQueueResource::busy() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& q : queues_) n += q->busy();
+  return n;
+}
+
+std::size_t MultiQueueResource::queue_length() const noexcept {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q->queue_length();
+  return n;
+}
+
+std::uint64_t MultiQueueResource::completed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& q : queues_) n += q->completed();
+  return n;
+}
+
+SimTime MultiQueueResource::busy_time() const noexcept {
+  SimTime t = 0.0;
+  for (const auto& q : queues_) t += q->busy_time();
+  return t;
+}
+
+SimTime MultiQueueResource::total_wait_time() const noexcept {
+  SimTime t = 0.0;
+  for (const auto& q : queues_) t += q->total_wait_time();
+  return t;
+}
+
+double MultiQueueResource::utilization() const noexcept {
+  const SimTime window = sim_.now() - stats_epoch_;
+  // Denominator counts the servers actually provisioned, including the
+  // transient drain servers a scale-down leaves behind — otherwise a
+  // utilization read mid-drain could exceed 1.
+  std::uint32_t servers = 0;
+  for (const auto& q : queues_) servers += q->capacity();
+  if (window <= 0 || servers == 0) return 0.0;
+  return busy_time() / (window * static_cast<double>(servers));
+}
+
+void MultiQueueResource::reset_stats() noexcept {
+  for (auto& q : queues_) q->reset_stats();
   stats_epoch_ = sim_.now();
 }
 

@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/sim/simulator.hpp"
+#include "src/sim/task.hpp"
 #include "src/sim/time.hpp"
 
 namespace lifl::sim {
@@ -18,9 +20,14 @@ namespace lifl::sim {
 /// the NIC wire, and the gateway's assigned cores (vertically scaled, §4.2).
 /// Utilization and waiting statistics are tracked exactly (piecewise-constant
 /// integrals), which the benches use for CPU-utilization figures.
+///
+/// Completion callbacks are `sim::Task`s parked in a slab: the event the
+/// simulator carries is a 12-byte {resource, slot} trampoline, so submitting
+/// a job performs no per-job heap allocation however large the caller's
+/// capture is (beyond the Task's own inline/heap policy).
 class Resource {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Task;
 
   Resource(Simulator& sim, std::string name, std::uint32_t capacity);
   Resource(const Resource&) = delete;
@@ -63,9 +70,17 @@ class Resource {
     Callback done;
   };
 
+  /// Completion trampoline: 12 bytes — always inline in a `sim::Task`.
+  struct FinishFn {
+    Resource* r;
+    std::uint32_t slot;
+    void operator()() const { r->on_finish(slot); }
+  };
+
   void start(Job job);
-  void on_finish();
+  void on_finish(std::uint32_t slot);
   void account() noexcept;
+  std::uint32_t park(Callback done);
 
   Simulator& sim_;
   std::string name_;
@@ -74,11 +89,101 @@ class Resource {
   std::deque<Job> queue_;
   std::uint64_t completed_ = 0;
 
+  // Slab of in-service completion callbacks, indexed by FinishFn::slot.
+  std::vector<Callback> in_service_;
+  std::vector<std::uint32_t> free_slots_;
+
   // Piecewise-constant busy integral.
   mutable SimTime busy_integral_ = 0.0;
   mutable SimTime last_change_ = 0.0;
   SimTime stats_epoch_ = 0.0;
   SimTime total_wait_ = 0.0;
+};
+
+/// An RSS-style N-queue resource: flows are hash-steered to one of N FIFO
+/// queues, each served by its own share of the core budget.
+///
+/// Models the LIFL gateway's parallel ingest path (§4.2 + ROADMAP
+/// "gateway-parallel ingest"): instead of one queue feeding `cores`
+/// interchangeable servers, the NIC's receive-side-scaling hash pins each
+/// client (flow) to a queue, queues are drained independently — so a hot
+/// node's ingest scales with its configured core count while each client's
+/// uploads stay in order — and one elephant flow can only ever occupy its
+/// own queue. `queues == 1` degenerates to a plain `Resource` with
+/// `cores` servers (the pre-RSS single-queue gateway), which keeps default
+/// configurations bit-identical to the unsharded model.
+///
+/// Vertical scaling (`set_capacity`) re-derives the per-queue service rate
+/// from the new core count: cores are dealt round-robin across the *live*
+/// queue prefix (`min(queues, cores)` — fewer cores than queues narrows
+/// the steering domain, exactly like reprogramming the RSS indirection
+/// table). A queue dropped from the live set stops receiving new flows but
+/// keeps one server until it has drained (its steered jobs must not
+/// stall), so total capacity can transiently exceed the configured cores
+/// during a scale-down; the surplus is reclaimed on the next
+/// `set_capacity` once the queue is empty. Per-flow FIFO ordering is
+/// guaranteed while the core count is stable; a rescale re-steers flows —
+/// exactly as a real indirection-table rewrite does — and may transiently
+/// reorder a flow whose earlier jobs still sit on a since-dropped queue.
+class MultiQueueResource {
+ public:
+  /// `queues == 0` allocates one queue per core (full RSS fan-out); the
+  /// effective queue count is clamped to [1, cores].
+  MultiQueueResource(Simulator& sim, std::string name, std::uint32_t cores,
+                     std::uint32_t queues = 1);
+  MultiQueueResource(const MultiQueueResource&) = delete;
+  MultiQueueResource& operator=(const MultiQueueResource&) = delete;
+
+  /// Submit a job on behalf of `flow` (client / participant id): steered to
+  /// queue hash(flow) % queues, FIFO within the queue.
+  void acquire(std::uint64_t flow, SimTime service_time, Task on_complete) {
+    queue_for(flow).acquire(service_time, std::move(on_complete));
+  }
+
+  /// The queue a flow steers to.
+  Resource& queue_for(std::uint64_t flow) { return *queues_[steer(flow)]; }
+  Resource& queue(std::size_t i) { return *queues_[i]; }
+  std::size_t queue_count() const noexcept { return queues_.size(); }
+
+  /// Vertical scaling (§4.2): redistribute `cores` across the live queue
+  /// prefix and re-steer new flows to it (see class comment for the
+  /// scale-down drain rule). `cores` is floored at 1.
+  void set_capacity(std::uint32_t cores);
+
+  const std::string& name() const noexcept { return name_; }
+  /// Total cores across all queues.
+  std::uint32_t capacity() const noexcept { return cores_; }
+
+  // Aggregate statistics over all queues (same meaning as on `Resource`).
+  std::uint32_t busy() const noexcept;
+  std::size_t queue_length() const noexcept;
+  std::uint64_t completed() const noexcept;
+  SimTime busy_time() const noexcept;
+  SimTime total_wait_time() const noexcept;
+  double utilization() const noexcept;
+  void reset_stats() noexcept;
+
+  /// The steering hash (splitmix64 finalizer): exposed so tests and benches
+  /// can predict queue assignment.
+  static std::uint64_t mix(std::uint64_t flow) noexcept {
+    flow += 0x9e3779b97f4a7c15ull;
+    flow = (flow ^ (flow >> 30)) * 0xbf58476d1ce4e5b9ull;
+    flow = (flow ^ (flow >> 27)) * 0x94d049bb133111ebull;
+    return flow ^ (flow >> 31);
+  }
+
+ private:
+  std::size_t steer(std::uint64_t flow) const noexcept {
+    return static_cast<std::size_t>(mix(flow) % live_);
+  }
+  void distribute();
+
+  Simulator& sim_;
+  std::string name_;
+  std::uint32_t cores_;
+  std::size_t live_ = 1;  ///< steering domain: queues [0, live_)
+  std::vector<std::unique_ptr<Resource>> queues_;
+  SimTime stats_epoch_ = 0.0;
 };
 
 }  // namespace lifl::sim

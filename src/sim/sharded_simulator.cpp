@@ -1,0 +1,220 @@
+#include "src/sim/sharded_simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace lifl::sim {
+
+namespace {
+/// Barrier spin budget before falling back to the condition variable. Spins
+/// cover the common case (all shards busy, windows microseconds apart);
+/// the blocking fallback keeps oversubscribed machines (fewer cores than
+/// shards) from melting down.
+constexpr int kSpinIters = 4096;
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(Config cfg)
+    : lookahead_(cfg.lookahead) {
+  if (cfg.shards == 0) {
+    throw std::invalid_argument("ShardedSimulator: shards must be >= 1");
+  }
+  if (!(lookahead_ > 0.0)) {
+    throw std::invalid_argument("ShardedSimulator: lookahead must be > 0");
+  }
+  shards_.resize(cfg.shards);
+  for (auto& cell : shards_) cell.sim = std::make_unique<Simulator>();
+  mail_.resize(cfg.shards * cfg.shards);
+}
+
+void ShardedSimulator::post(std::size_t from, std::size_t to, SimTime t,
+                            Task cb) {
+  Simulator& src = *shards_[from].sim;
+  // Conservative-window invariant: a cross-shard delivery can never land
+  // closer than `lookahead` ahead of the sender's clock. The clamp applies
+  // to same-shard posts too, so timing is independent of the group->shard
+  // mapping.
+  const SimTime tmin = src.now() + lookahead_;
+  if (t < tmin) t = tmin;
+  if (from == to) {
+    src.schedule_at(t, std::move(cb));
+    return;
+  }
+  mailbox(from, to).events.push_back(
+      CrossEvent{t, static_cast<std::uint32_t>(from),
+                 static_cast<std::uint32_t>(to), shards_[from].posted++,
+                 std::move(cb)});
+}
+
+std::uint64_t ShardedSimulator::cross_posts() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& cell : shards_) n += cell.posted;
+  return n;
+}
+
+void ShardedSimulator::drain_mailboxes() {
+  // Gather into the persistent scratch (capacity survives clear(), so a
+  // steady-state barrier allocates nothing).
+  drain_scratch_.clear();
+  for (auto& box : mail_) {
+    for (auto& e : box.events) drain_scratch_.push_back(std::move(e));
+    box.events.clear();
+  }
+  // Deterministic injection order — (time, source shard, source sequence) —
+  // so the delivery order of cross events never depends on the shard
+  // count or on thread timing.
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+            [](const CrossEvent& x, const CrossEvent& y) {
+              if (x.t != y.t) return x.t < y.t;
+              if (x.src != y.src) return x.src < y.src;
+              return x.seq < y.seq;
+            });
+  for (CrossEvent& e : drain_scratch_) {
+    shards_[e.dst].sim->schedule_at(e.t, std::move(e.cb));
+  }
+  drain_scratch_.clear();
+}
+
+std::size_t ShardedSimulator::mail_pending() const {
+  std::size_t n = 0;
+  for (const auto& box : mail_) n += box.events.size();
+  return n;
+}
+
+std::uint64_t ShardedSimulator::dispatched() const {
+  std::uint64_t n = 0;
+  for (const auto& cell : shards_) n += cell.sim->dispatched();
+  return n;
+}
+
+std::size_t ShardedSimulator::pending_regular() const {
+  std::size_t n = mail_pending();
+  for (const auto& cell : shards_) n += cell.sim->pending_regular();
+  return n;
+}
+
+void ShardedSimulator::record_error() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_) error_ = std::current_exception();
+  failed_.store(true, std::memory_order_release);
+}
+
+void ShardedSimulator::run_shard_window(std::size_t s) {
+  try {
+    shards_[s].sim->run_window(window_end_);
+  } catch (...) {
+    // The shard's state is torn mid-callback; remember the first error and
+    // let the barrier complete so the coordinator can shut down and
+    // rethrow (matching the 1-shard mode, where this would propagate).
+    record_error();
+  }
+}
+
+void ShardedSimulator::worker_loop(std::size_t s, std::uint64_t base_epoch) {
+  // Workers are (re)spawned per run(); epoch_ persists across runs, so the
+  // coordinator captures the baseline *before* spawning and hands it over —
+  // reading epoch_ here would race with the first window's bump.
+  std::uint64_t seen = base_epoch;
+  for (;;) {
+    // Wait for the next window (or shutdown).
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen &&
+           !stop_.load(std::memory_order_acquire)) {
+      if (++spins < kSpinIters) {
+        std::this_thread::yield();
+      } else {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return epoch_.load(std::memory_order_acquire) != seen ||
+                 stop_.load(std::memory_order_acquire);
+        });
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = epoch_.load(std::memory_order_acquire);
+    run_shard_window(s);
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        shards_.size() - 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+  }
+}
+
+std::uint64_t ShardedSimulator::run() {
+  const std::uint64_t before = dispatched();
+  const std::size_t k = shards_.size();
+  if (k == 1) {
+    // Deterministic single-shard mode: the plain single-threaded core, bit
+    // identical to an unsharded `Simulator` (mailboxes are never used —
+    // same-shard posts schedule directly).
+    shards_[0].sim->run();
+    return shards_[0].sim->dispatched() - before;
+  }
+
+  stop_.store(false, std::memory_order_release);
+  const std::uint64_t base_epoch = epoch_.load(std::memory_order_acquire);
+  std::vector<std::thread> workers;
+  workers.reserve(k - 1);
+  for (std::size_t s = 1; s < k; ++s) {
+    workers.emplace_back([this, s, base_epoch] { worker_loop(s, base_epoch); });
+  }
+
+  for (;;) {
+    if (failed_.load(std::memory_order_acquire)) break;
+    // ---- serial phase (coordinator only): exchange + plan the window.
+    drain_mailboxes();
+    std::size_t regular = 0;
+    for (const auto& cell : shards_) regular += cell.sim->pending_regular();
+    if (regular == 0) break;
+    SimTime t_min = std::numeric_limits<SimTime>::infinity();
+    for (const auto& cell : shards_) {
+      t_min = std::min(t_min, cell.sim->next_event_time());
+    }
+    if (t_min == std::numeric_limits<SimTime>::infinity()) break;
+    window_end_ = t_min + lookahead_;
+    ++windows_;
+
+    // ---- parallel phase: all shards execute events below the horizon.
+    done_.store(0, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    cv_.notify_all();
+    run_shard_window(0);
+    int spins = 0;
+    while (done_.load(std::memory_order_acquire) != k - 1) {
+      if (++spins < kSpinIters) {
+        std::this_thread::yield();
+      } else {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return done_.load(std::memory_order_acquire) == k - 1;
+        });
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& w : workers) w.join();
+  if (failed_.load(std::memory_order_acquire)) {
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      err = error_;
+      error_ = nullptr;
+    }
+    failed_.store(false, std::memory_order_release);
+    std::rethrow_exception(err);
+  }
+  return dispatched() - before;
+}
+
+}  // namespace lifl::sim

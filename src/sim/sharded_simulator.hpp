@@ -1,0 +1,163 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/sim/calibration.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/task.hpp"
+#include "src/sim/time.hpp"
+
+namespace lifl::sim {
+
+/// A sharded discrete-event simulator: K independent `Simulator` cores, one
+/// per worker thread, synchronized with conservative time windows.
+///
+/// The model is partitioned into *shards* (node groups in the cluster): all
+/// state of a shard is touched only by that shard's events, so intra-window
+/// execution is lock-free — each worker thread drains its own slab/calendar
+/// core with zero shared-state traffic. Cross-shard interaction goes
+/// through `post`, which enqueues the event into a single-writer mailbox;
+/// mailboxes are exchanged at window barriers.
+///
+/// Window protocol (classic conservative / bounded-lag synchronization):
+/// every cross-shard event carries a delivery time at least `lookahead`
+/// after the sender's clock — `lookahead` is the minimum cross-shard
+/// latency of the model (`calib::kCrossShardLatencySecs`: no network hop
+/// between node groups can complete faster). Each window the coordinator
+///   1. drains all mailboxes into the destination shards, in deterministic
+///      (time, source shard, source sequence) order,
+///   2. computes the horizon H = min over shards of the next event time,
+///      plus `lookahead`,
+///   3. releases all shards to execute events with t < H in parallel.
+/// Any event posted during the window happens at a time >= the window's
+/// minimum, so its delivery lands at or beyond H — never in a receiver's
+/// past. Events therefore always execute in nondecreasing time order per
+/// shard, and delivery order of cross events is independent of the shard
+/// count.
+///
+/// Determinism: with one shard, `run()` degenerates to the plain
+/// single-threaded `Simulator::run()` (no threads, no barriers — bit
+/// identical to the unsharded core). With K > 1, a model partitioned so
+/// that groups share no state produces identical per-group results for any
+/// K: each group's events carry the same timestamps and the same relative
+/// order regardless of which shard executes them (see
+/// tests/sharded_sim_test.cpp for the 2-shard vs 1-shard campaign
+/// equivalence check). One caveat: *daemon* events scheduled between the
+/// last regular event and the final window horizon run at K > 1 but not at
+/// K = 1 (a single-threaded `run()` stops exactly at the last regular
+/// event; windows quantize that cut) — a model that wants cross-K
+/// equivalence must not let daemon tails feed back into measured state.
+class ShardedSimulator {
+ public:
+  struct Config {
+    std::size_t shards = 1;
+    /// Conservative window lookahead — must be a lower bound on the
+    /// delivery delay of every `post` (post clamps to it).
+    SimTime lookahead = calib::kCrossShardLatencySecs;
+  };
+
+  explicit ShardedSimulator(Config cfg);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+  ~ShardedSimulator() = default;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  SimTime lookahead() const noexcept { return lookahead_; }
+
+  /// The shard-local event core. All scheduling of intra-shard events goes
+  /// directly through it (zero overhead vs the unsharded simulator).
+  Simulator& shard(std::size_t i) { return *shards_[i].sim; }
+
+  /// Schedule `cb` on shard `to` at absolute time `t`, called from shard
+  /// `from` (i.e. from within one of its callbacks during `run()`, or from
+  /// the coordinator thread between runs). `t` is clamped up to
+  /// `shard(from).now() + lookahead()` — the conservative-window invariant;
+  /// the clamp is identical whether or not `from == to`, so a model's
+  /// timing does not depend on how its groups map onto shards. Same-shard
+  /// posts schedule directly; cross-shard posts ride the mailbox and are
+  /// injected at the next window barrier.
+  void post(std::size_t from, std::size_t to, SimTime t, Task cb);
+
+  /// Run until no regular (non-daemon) events remain on any shard and all
+  /// mailboxes are empty. Returns the number of events dispatched across
+  /// all shards during this call. Only the coordinator thread may call it.
+  std::uint64_t run();
+
+  /// Total events dispatched across all shards so far.
+  std::uint64_t dispatched() const;
+  /// Regular (non-daemon) events pending across all shards + mailboxes.
+  std::size_t pending_regular() const;
+  /// Cross-shard events posted so far (same-shard posts excluded). Only
+  /// meaningful between runs / from the coordinator (per-shard counters are
+  /// owned by their worker threads during a window).
+  std::uint64_t cross_posts() const noexcept;
+  /// Window barriers executed by multi-shard `run()` calls.
+  std::uint64_t windows() const noexcept { return windows_; }
+
+ private:
+  struct CrossEvent {
+    SimTime t;
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint64_t seq;  ///< per-source post counter (FIFO tie-break)
+    Task cb;
+  };
+
+  /// Per-shard state, cache-line separated: `sim` and `posted` (the
+  /// per-source cross-post sequence, which doubles as the cross-post
+  /// counter) are touched by the owning worker thread during a window, by
+  /// the coordinator only between windows.
+  struct alignas(64) ShardCell {
+    std::unique_ptr<Simulator> sim;
+    std::uint64_t posted = 0;
+  };
+
+  /// Single-writer mailbox for one (src, dst) pair; the src worker appends
+  /// during its window, the coordinator drains at the barrier.
+  struct alignas(64) Mailbox {
+    std::vector<CrossEvent> events;
+  };
+
+  Mailbox& mailbox(std::size_t src, std::size_t dst) {
+    return mail_[src * shards_.size() + dst];
+  }
+  /// Sort all mailboxes by (t, src, seq) and schedule into the targets.
+  void drain_mailboxes();
+  std::size_t mail_pending() const;
+  void worker_loop(std::size_t s, std::uint64_t base_epoch);
+  /// Run the shard's window, capturing a model-callback exception so it
+  /// can be rethrown on the coordinator after the barrier (in 1-shard mode
+  /// exceptions propagate natively; the threaded mode must match instead
+  /// of std::terminate-ing).
+  void run_shard_window(std::size_t s);
+  void record_error() noexcept;
+
+  SimTime lookahead_;
+  std::vector<ShardCell> shards_;
+  std::vector<Mailbox> mail_;
+  std::vector<CrossEvent> drain_scratch_;
+  std::uint64_t windows_ = 0;
+
+  // ---- window barrier (used only when shard_count() > 1) --------------
+  // The coordinator publishes `window_end_` then bumps `epoch_`; workers
+  // run their window and bump `done_`. Waiters spin briefly (windows are
+  // typically microseconds apart under load), then block on the condvar so
+  // oversubscribed machines don't burn whole scheduler quanta.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> done_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;  ///< first callback exception (guarded by mu_)
+  SimTime window_end_ = 0.0;
+};
+
+}  // namespace lifl::sim

@@ -236,7 +236,7 @@ void Simulator::skim_tombstones() {
   }
 }
 
-bool Simulator::dispatch_next(SimTime limit, bool bounded) {
+bool Simulator::dispatch_next(SimTime limit, bool bounded, bool strict) {
   skim_tombstones();
   const bool ring_ok = ring_size_ > 0;
   const bool near_ok = !near_.empty();
@@ -254,11 +254,14 @@ bool Simulator::dispatch_next(SimTime limit, bool bounded) {
 
   std::uint32_t slot;
   if (use_ring) {
-    if (bounded && now_ > limit) return false;
+    if (bounded && (now_ > limit || (strict && now_ >= limit))) return false;
     slot = ring_[ring_head_].slot;
     ring_pop();
   } else {
-    if (bounded && near_[0].t > limit) return false;
+    if (bounded &&
+        (near_[0].t > limit || (strict && near_[0].t >= limit))) {
+      return false;
+    }
     slot = near_[0].slot;
     now_ = near_[0].t;
     near_pop();
@@ -287,6 +290,19 @@ std::size_t Simulator::run_until(SimTime t) {
   while (dispatch_next(t, /*bounded=*/true)) ++n;
   if (t > now_) now_ = t;
   return n;
+}
+
+std::size_t Simulator::run_window(SimTime end) {
+  std::size_t n = 0;
+  while (dispatch_next(end, /*bounded=*/true, /*strict=*/true)) ++n;
+  return n;
+}
+
+SimTime Simulator::next_event_time() {
+  skim_tombstones();
+  if (ring_size_ > 0) return now_;  // ring entries are always due at now()
+  if (!near_.empty()) return near_[0].t;
+  return std::numeric_limits<SimTime>::infinity();
 }
 
 }  // namespace lifl::sim

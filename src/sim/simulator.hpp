@@ -95,6 +95,19 @@ class Simulator {
   /// to `t`. Returns the number of events dispatched.
   std::size_t run_until(SimTime t);
 
+  /// Run events with time strictly < `end` (regular and daemon) and stop.
+  /// Unlike `run_until` the clock is left at the last dispatched event, not
+  /// advanced to `end`. This is the per-window body of the sharded
+  /// conservative-time-window protocol: a shard may safely execute
+  /// everything below the window horizon because no cross-shard event can
+  /// land earlier than the horizon.
+  std::size_t run_window(SimTime end);
+
+  /// Timestamp of the earliest pending event (daemons included), or
+  /// +infinity when the queue is empty. May rotate calendar windows to find
+  /// the front, but never dispatches and never advances the clock.
+  SimTime next_event_time();
+
   /// Number of pending (non-cancelled) events, daemons included.
   std::size_t pending() const noexcept { return pending_; }
 
@@ -131,7 +144,9 @@ class Simulator {
   };
 
   EventId schedule_impl(SimTime t, Callback cb, bool daemon);
-  bool dispatch_next(SimTime limit, bool bounded);
+  /// Dispatch the earliest event. `bounded` restricts dispatch to events at
+  /// or below `limit`; `strict` tightens that to strictly below.
+  bool dispatch_next(SimTime limit, bool bounded, bool strict = false);
 
   std::uint32_t alloc_slot(Callback cb, bool daemon);
   void free_slot(std::uint32_t slot) {

@@ -8,23 +8,26 @@
 namespace lifl::sim {
 
 /// Move-only callable with 24 bytes of inline storage — the event-core
-/// replacement for `std::function<void()>`.
+/// replacement for `std::function<void(Args...)>`.
 ///
 /// `std::function`'s 16-byte small-buffer spills a three-pointer capture to
 /// a heap allocation, and every queue move pays an indirect manager call.
-/// `Task` widens the inline window to 24 bytes while keeping the whole
+/// `TaskFn` widens the inline window to 24 bytes while keeping the whole
 /// callable at 32 — an event slab record stays one cache line — and moves
-/// and invokes through a single static vtable.
-class Task {
+/// and invokes through a single static vtable. `Task` (the nullary alias)
+/// is the simulator's event callback; `TaskFn<fl::ModelUpdate>` is the
+/// update-pool waiter.
+template <typename... Args>
+class TaskFn {
  public:
-  Task() noexcept = default;
-  Task(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+  TaskFn() noexcept = default;
+  TaskFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, Task> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  Task(F&& f) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::decay_t<F>, TaskFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&, Args...>>>
+  TaskFn(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineBytes &&
                   alignof(Fn) <= alignof(std::max_align_t) &&
@@ -37,33 +40,35 @@ class Task {
     }
   }
 
-  Task(Task&& other) noexcept { move_from(other); }
-  Task& operator=(Task&& other) noexcept {
+  TaskFn(TaskFn&& other) noexcept { move_from(other); }
+  TaskFn& operator=(TaskFn&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(other);
     }
     return *this;
   }
-  Task& operator=(std::nullptr_t) noexcept {
+  TaskFn& operator=(std::nullptr_t) noexcept {
     reset();
     return *this;
   }
 
-  Task(const Task&) = delete;
-  Task& operator=(const Task&) = delete;
+  TaskFn(const TaskFn&) = delete;
+  TaskFn& operator=(const TaskFn&) = delete;
 
-  ~Task() { reset(); }
+  ~TaskFn() { reset(); }
 
   explicit operator bool() const noexcept { return vt_ != nullptr; }
 
-  void operator()() { vt_->invoke(buf_); }
+  void operator()(Args... args) {
+    vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
  private:
   static constexpr std::size_t kInlineBytes = 24;
 
   struct VTable {
-    void (*invoke)(void*);
+    void (*invoke)(void*, Args&&...);
     void (*relocate)(void* dst, void* src);  ///< move into dst, destroy src
     void (*destroy)(void*);
   };
@@ -71,7 +76,10 @@ class Task {
   template <typename Fn>
   static const VTable* inline_vtable() noexcept {
     static constexpr VTable vt = {
-        [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+        [](void* p, Args&&... args) {
+          (*std::launder(reinterpret_cast<Fn*>(p)))(
+              std::forward<Args>(args)...);
+        },
         [](void* dst, void* src) {
           Fn* s = std::launder(reinterpret_cast<Fn*>(src));
           ::new (dst) Fn(std::move(*s));
@@ -84,7 +92,9 @@ class Task {
   template <typename Fn>
   static const VTable* heap_vtable() noexcept {
     static constexpr VTable vt = {
-        [](void* p) { (**reinterpret_cast<Fn**>(p))(); },
+        [](void* p, Args&&... args) {
+          (**reinterpret_cast<Fn**>(p))(std::forward<Args>(args)...);
+        },
         [](void* dst, void* src) {
           *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
         },
@@ -92,7 +102,7 @@ class Task {
     return &vt;
   }
 
-  void move_from(Task& other) noexcept {
+  void move_from(TaskFn& other) noexcept {
     vt_ = other.vt_;
     if (vt_ != nullptr) {
       vt_->relocate(buf_, other.buf_);
@@ -110,5 +120,8 @@ class Task {
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
   const VTable* vt_ = nullptr;
 };
+
+/// The simulator's nullary event callback.
+using Task = TaskFn<>;
 
 }  // namespace lifl::sim

@@ -1,0 +1,259 @@
+#include "src/systems/sharded_campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/dataplane/config.hpp"
+#include "src/dataplane/dataplane.hpp"
+#include "src/sim/node.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/sharded_simulator.hpp"
+#include "src/workload/population.hpp"
+
+namespace lifl::sys {
+
+namespace calib = sim::calib;
+
+namespace {
+
+/// Latency of a leaf-aggregate transfer between node groups: minimum
+/// cross-group latency (propagation + switch + kernel wake-up) plus wire
+/// time plus the fixed kernel receive cost. Always >= the sharded
+/// simulator's lookahead, which is what makes the conservative windows
+/// sound for this workload.
+double cross_latency_secs(std::size_t bytes) {
+  return calib::kCrossShardLatencySecs +
+         static_cast<double>(bytes) / calib::kNicBytesPerSec +
+         calib::kKernelFixedCycles / calib::kCpuHz;
+}
+
+struct CampaignState;
+
+/// One node group: a single-node cluster with its own data plane, arrival
+/// process and population slice. All fields are touched only by the shard
+/// the group maps to (or by the coordinator between rounds).
+struct Group {
+  std::size_t id = 0;
+  std::size_t shard = 0;
+  sim::Simulator* sim = nullptr;
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<dp::DataPlane> plane;
+  wl::ClientPopulation population;
+  std::unique_ptr<wl::ArrivalProcess> arrivals;
+  sim::Rng rng{0};
+  std::vector<std::unique_ptr<fl::AggregatorRuntime>> aggs;
+
+  // Open-loop arrival chain state for the current round (one pending
+  // arrival event at a time, profiles derived lazily per index).
+  double epoch = 0.0;
+  double next_rel = 0.0;
+  std::uint64_t launched = 0;
+  std::uint64_t target = 0;
+  std::uint64_t participant_counter = 0;
+  std::uint32_t round = 0;
+  std::uint64_t total_uploads = 0;
+};
+
+struct CampaignState {
+  const ShardedCampaignConfig* cfg = nullptr;
+  sim::ShardedSimulator* sharded = nullptr;
+  std::vector<Group> groups;
+  fl::AggregatorRuntime* top = nullptr;  ///< current round's top (group 0)
+  bool round_done = false;
+  double completed_at = -1.0;
+  std::uint64_t round_samples = 0;
+};
+
+/// Injects one relayed leaf aggregate into the top aggregator. Runs on the
+/// top's shard; the update was detached from its source group (no lease, no
+/// tensor) before crossing.
+struct TopInject {
+  CampaignState* st;
+  fl::ModelUpdate u;
+  void operator()() { st->top->inject(std::move(u)); }
+};
+
+/// Leaf on_result hook: detach the aggregate from its group and post it to
+/// the top's shard with the cross-group latency. Identical for every group
+/// (including group 0, whose post degenerates to a local schedule), so the
+/// wiring does not depend on the group->shard mapping.
+struct LeafRelay {
+  CampaignState* st;
+  std::size_t group;
+  void operator()(fl::ModelUpdate u) const {
+    u.lease.reset();
+    u.tensor.reset();
+    Group& g = st->groups[group];
+    const double t = g.sim->now() + cross_latency_secs(u.logical_bytes);
+    st->sharded->post(g.shard, st->groups[0].shard, t,
+                      TopInject{st, std::move(u)});
+  }
+};
+
+/// One open-loop arrival: upload a lazily derived client's update into the
+/// group's node, then chain the next arrival. 16 bytes — Task-inline.
+struct ArrivalFn {
+  CampaignState* st;
+  Group* g;
+  void operator()() const {
+    const std::size_t idx = static_cast<std::size_t>(
+        (g->participant_counter++ * 2654435761ull) % g->population.size());
+    const wl::ClientProfile profile = g->population[idx];
+    fl::ModelUpdate u;
+    u.model_version = g->round;
+    u.producer = profile.id;
+    u.sample_count = profile.samples;
+    u.logical_bytes = st->cfg->model_bytes;
+    g->plane->client_upload(0, std::move(u), profile.uplink_bytes_per_sec);
+    ++g->launched;
+    ++g->total_uploads;
+    if (g->launched >= g->target) return;
+    g->next_rel = g->arrivals->next_after(g->next_rel, g->rng);
+    g->sim->schedule_at(g->epoch + g->next_rel, ArrivalFn{st, g});
+  }
+};
+
+}  // namespace
+
+ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
+  if (cfg.groups == 0) {
+    throw std::invalid_argument("sharded campaign: groups must be >= 1");
+  }
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  sim::ShardedSimulator::Config scfg;
+  scfg.shards = cfg.shards;
+  scfg.lookahead = calib::kCrossShardLatencySecs;
+  sim::ShardedSimulator sharded(scfg);
+
+  CampaignState st;
+  st.cfg = &cfg;
+  st.sharded = &sharded;
+  st.groups.resize(cfg.groups);
+
+  const std::size_t pop_per_group = std::max<std::size_t>(
+      1, cfg.population / cfg.groups);
+  wl::ArrivalProcess::Config acfg{cfg.peak_per_sec /
+                                      static_cast<double>(cfg.groups),
+                                  cfg.ramp_secs, cfg.diurnal_amplitude,
+                                  cfg.diurnal_period_secs};
+
+  for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
+    Group& g = st.groups[gi];
+    g.id = gi;
+    g.shard = gi % cfg.shards;
+    g.sim = &sharded.shard(g.shard);
+    g.cluster = std::make_unique<sim::Cluster>(*g.sim, 1);
+    dp::DataPlaneConfig pcfg = dp::lifl_plane();
+    pcfg.gateway_cores = cfg.gateway_cores;
+    pcfg.gateway_queues = cfg.gateway_queues;
+    g.plane = std::make_unique<dp::DataPlane>(
+        *g.cluster, pcfg, sim::Rng(cfg.seed * 1000003 + gi));
+    g.rng = sim::Rng(cfg.seed ^ (0x9e3779b97f4a7c15ull * (gi + 1)));
+    g.population = wl::ClientPopulation::synthetic(
+        pop_per_group, /*mobile=*/true, g.rng,
+        /*first_id=*/1'000'000 + gi * pop_per_group);
+    g.arrivals = std::make_unique<wl::ArrivalProcess>(acfg);
+  }
+
+  ShardedCampaignResult result;
+
+  for (std::uint32_t round = 1; round <= cfg.rounds; ++round) {
+    // Round epoch: the latest group clock — identical for every shard
+    // count (each group's event times are shard-count independent).
+    double epoch = 0.0;
+    for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+      epoch = std::max(epoch, sharded.shard(s).now());
+    }
+
+    // ---- build the round's hierarchy (coordinator thread, sims idle).
+    st.round_done = false;
+    fl::AggregatorRuntime::Config tc;
+    tc.id = 1;
+    tc.node = 0;
+    tc.role = fl::AggRole::kTop;
+    tc.timing = cfg.timing;
+    tc.goal = static_cast<std::uint32_t>(cfg.groups * cfg.leaves_per_group);
+    tc.result_bytes = cfg.model_bytes;
+    tc.expected_version = round;
+    tc.on_result = [&st](fl::ModelUpdate u) {
+      st.round_done = true;
+      st.completed_at = st.groups[0].sim->now();
+      st.round_samples = u.sample_count;
+    };
+    Group& g0 = st.groups[0];
+    g0.aggs.push_back(std::make_unique<fl::AggregatorRuntime>(*g0.plane, tc));
+    g0.aggs.back()->start();
+    st.top = g0.aggs.back().get();
+
+    for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
+      Group& g = st.groups[gi];
+      fl::ParticipantId next_id = 10;
+      for (std::size_t l = 0; l < cfg.leaves_per_group; ++l) {
+        fl::AggregatorRuntime::Config lc;
+        lc.id = next_id++;
+        lc.node = 0;
+        lc.role = fl::AggRole::kLeaf;
+        lc.timing = cfg.timing;
+        lc.goal = cfg.updates_per_leaf;
+        lc.consumer = 0;  // results leave the group through the relay
+        lc.result_bytes = cfg.model_bytes;
+        lc.pull_from_pool = true;
+        lc.expected_version = round;
+        lc.on_result = LeafRelay{&st, gi};
+        g.aggs.push_back(
+            std::make_unique<fl::AggregatorRuntime>(*g.plane, lc));
+        g.aggs.back()->start();
+      }
+
+      // Arm the round's open-loop arrival chain.
+      g.round = round;
+      g.epoch = epoch;
+      g.launched = 0;
+      g.target = cfg.leaves_per_group * cfg.updates_per_leaf;
+      g.next_rel = g.arrivals->next_after(0.0, g.rng);
+      g.sim->schedule_at(g.epoch + g.next_rel, ArrivalFn{&st, &g});
+    }
+
+    // ---- run the round to completion across all shards.
+    sharded.run();
+    if (!st.round_done) {
+      throw std::runtime_error("sharded campaign: round " +
+                               std::to_string(round) + " did not complete");
+    }
+    result.round_completed_at.push_back(st.completed_at);
+    result.round_samples.push_back(st.round_samples);
+
+    // Tear down the round's instances (coordinator thread, sims idle).
+    st.top = nullptr;
+    for (auto& g : st.groups) g.aggs.clear();
+  }
+
+  // ---- collect per-group aggregates (group-local event order only).
+  result.groups.reserve(cfg.groups);
+  double sim_end = 0.0;
+  for (auto& g : st.groups) {
+    ShardedGroupStats s;
+    s.uploads = g.total_uploads;
+    s.pool_pushed = g.plane->env(0).pool.total_pushed();
+    s.gateway_busy_secs = g.plane->env(0).gateway.busy_time();
+    s.gateway_wait_secs = g.plane->env(0).gateway.total_wait_time();
+    s.cpu_cycles = g.cluster->total_cpu().total_cycles();
+    result.groups.push_back(s);
+    sim_end = std::max(sim_end, g.sim->now());
+  }
+  result.events = sharded.dispatched();
+  result.cross_posts = sharded.cross_posts();
+  result.windows = sharded.windows();
+  result.sim_secs = sim_end;
+  result.wall_secs = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall0)
+                         .count();
+  return result;
+}
+
+}  // namespace lifl::sys

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fl/aggregator_runtime.hpp"
+#include "src/sim/calibration.hpp"
+#include "src/sim/time.hpp"
+
+namespace lifl::sys {
+
+/// A mega-campaign (examples/mega_campaign) partitioned into node *groups*
+/// so it can execute on the sharded simulator core.
+///
+/// The cluster is split into `groups` independent node groups, each with
+/// its own LIFL data plane, arrival process and population slice; group 0
+/// additionally hosts the round's top aggregator. Leaf aggregates cross
+/// groups through `ShardedSimulator::post` with the minimum cross-group
+/// network latency (`calib::kCrossShardLatencySecs` + wire + kernel
+/// wake-up) — the same path and the same timestamps whether the groups run
+/// on 1 shard or on N worker threads. Everything a group touches is
+/// group-local, which is exactly the property that makes the sharded
+/// execution (a) lock-free within a window and (b) equivalent across shard
+/// counts: the wiring is fixed by `groups`, and `shards` only chooses how
+/// many worker threads the groups are dealt onto.
+struct ShardedCampaignConfig {
+  std::size_t shards = 1;        ///< worker threads (1 = plain single core)
+  std::size_t groups = 8;        ///< node groups — fixes the wiring, NOT the
+                                 ///< parallelism; results are identical for
+                                 ///< any `shards` given the same `groups`
+  std::size_t rounds = 2;
+  std::uint32_t updates_per_leaf = 200;
+  std::size_t leaves_per_group = 62;
+  std::size_t model_bytes = 100'000;  ///< compressed mobile update
+  std::size_t population = 1'000'000;
+  double peak_per_sec = 2500.0;  ///< aggregate arrival rate across groups
+  double ramp_secs = 60.0;
+  double diurnal_amplitude = 0.3;
+  double diurnal_period_secs = 600.0;
+  std::uint64_t seed = 2026;
+  fl::AggTiming timing = fl::AggTiming::kEager;
+  std::uint32_t gateway_cores = 2;
+  std::uint32_t gateway_queues = 0;  ///< 0 = one RSS queue per gateway core
+
+  std::size_t uploads_per_round() const {
+    return groups * leaves_per_group * updates_per_leaf;
+  }
+};
+
+/// Per-group aggregates used by the shard-equivalence test: every value is
+/// produced by group-local event order only, so it must be *identical*
+/// (bitwise, not approximately) across shard counts.
+struct ShardedGroupStats {
+  std::uint64_t uploads = 0;        ///< client uploads launched
+  std::uint64_t pool_pushed = 0;    ///< updates that landed in the node pool
+  double gateway_busy_secs = 0.0;   ///< gateway busy integral
+  double gateway_wait_secs = 0.0;   ///< gateway queueing
+  double cpu_cycles = 0.0;          ///< node CPU ledger total
+};
+
+struct ShardedCampaignResult {
+  std::vector<double> round_completed_at;  ///< top aggregate landed (sim s)
+  std::vector<std::uint64_t> round_samples;  ///< global FedAvg weight
+  std::vector<ShardedGroupStats> groups;
+  std::uint64_t events = 0;       ///< dispatched across all shards
+  std::uint64_t cross_posts = 0;  ///< cross-shard mailbox traffic
+  std::uint64_t windows = 0;      ///< conservative-window barriers
+  double wall_secs = 0.0;
+  double sim_secs = 0.0;          ///< final simulated time (max over groups)
+};
+
+/// Run the campaign. Deterministic: same config (including `groups`) =>
+/// same result for any `shards`; see tests/sharded_sim_test.cpp.
+ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg);
+
+}  // namespace lifl::sys

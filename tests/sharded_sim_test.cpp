@@ -1,0 +1,281 @@
+// Sharded simulator core: conservative time windows, cross-shard mailbox
+// ordering, and the shard-count equivalence of a group-partitioned
+// campaign.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/sim/calibration.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/sharded_simulator.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/systems/sharded_campaign.hpp"
+
+namespace {
+
+using lifl::sim::ShardedSimulator;
+using lifl::sim::SimTime;
+using lifl::sim::Simulator;
+
+// ---------------------------------------------------------------------------
+// Plain-simulator window primitives used by the sharded protocol.
+
+TEST(SimWindow, RunWindowIsStrict) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (const double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  EXPECT_EQ(sim.run_window(3.0), 2u);  // t=1, t=2; t=3 is NOT below 3.0
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), 2.0);  // clock stays at the last dispatched event
+  EXPECT_EQ(sim.run_window(4.5), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(SimWindow, RunWindowIncludesSameInstantChains) {
+  Simulator sim;
+  int ring_fired = 0;
+  sim.schedule_at(1.0, [&] {
+    // Zero-delay chain at t=1 must complete within a window ending at 2.
+    sim.schedule_now([&] {
+      ++ring_fired;
+      sim.schedule_now([&] { ++ring_fired; });
+    });
+  });
+  sim.schedule_at(5.0, [] {});
+  sim.run_window(2.0);
+  EXPECT_EQ(ring_fired, 2);
+  EXPECT_EQ(sim.pending_regular(), 1u);  // the t=5 event
+}
+
+TEST(SimWindow, NextEventTimeFindsCalendarFront) {
+  Simulator sim;
+  EXPECT_TRUE(std::isinf(sim.next_event_time()));
+  // Enough events to trigger a calendar build, then drain most of them.
+  lifl::sim::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    sim.schedule_at(rng.uniform(10.0, 100.0), [] {});
+  }
+  sim.schedule_at(7.25, [] {});
+  EXPECT_EQ(sim.next_event_time(), 7.25);
+  sim.run_window(50.0);
+  const SimTime next = sim.next_event_time();
+  EXPECT_GE(next, 50.0);
+  EXPECT_LT(next, 100.0);
+  sim.run();
+  EXPECT_TRUE(std::isinf(sim.next_event_time()));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded runtime.
+
+TEST(ShardedSim, SingleShardMatchesPlainSimulator) {
+  // The degenerate mode must be the plain core, bit for bit: same event
+  // count, same final clock, same dispatch order.
+  std::vector<int> plain_order;
+  Simulator plain;
+  ShardedSimulator sharded(ShardedSimulator::Config{1, 1e-3});
+  std::vector<int> sharded_order;
+
+  lifl::sim::Rng rng1(9);
+  lifl::sim::Rng rng2(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double t = rng1.uniform(0.0, 10.0);
+    plain.schedule_at(t, [&plain_order, i] { plain_order.push_back(i); });
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double t = rng2.uniform(0.0, 10.0);
+    sharded.shard(0).schedule_at(
+        t, [&sharded_order, i] { sharded_order.push_back(i); });
+  }
+  plain.run();
+  sharded.run();
+  EXPECT_EQ(plain_order, sharded_order);
+  EXPECT_EQ(plain.now(), sharded.shard(0).now());
+  EXPECT_EQ(plain.dispatched(), sharded.dispatched());
+  EXPECT_EQ(sharded.windows(), 0u);  // no barriers in single-shard mode
+}
+
+TEST(ShardedSim, CrossShardPostDeliversAtPostedTime) {
+  ShardedSimulator sharded(ShardedSimulator::Config{2, 0.5});
+  std::vector<double> delivered_at;
+  sharded.shard(1).schedule_at(1.0, [&] {
+    sharded.post(1, 0, 2.0, [&] {
+      delivered_at.push_back(sharded.shard(0).now());
+    });
+  });
+  // Keep shard 0 alive past the delivery.
+  sharded.shard(0).schedule_at(3.0, [] {});
+  sharded.run();
+  ASSERT_EQ(delivered_at.size(), 1u);
+  EXPECT_EQ(delivered_at[0], 2.0);
+  EXPECT_EQ(sharded.cross_posts(), 1u);
+}
+
+TEST(ShardedSim, PostClampsToLookahead) {
+  ShardedSimulator sharded(ShardedSimulator::Config{2, 0.5});
+  double delivered_at = -1.0;
+  sharded.shard(1).schedule_at(1.0, [&] {
+    // Posted "now": must be pushed out to now + lookahead.
+    sharded.post(1, 0, 1.0, [&] { delivered_at = sharded.shard(0).now(); });
+  });
+  sharded.shard(0).schedule_at(9.0, [] {});
+  sharded.run();
+  EXPECT_EQ(delivered_at, 1.5);
+}
+
+TEST(ShardedSim, CallbackExceptionPropagatesFromThreadedRun) {
+  // A model error on a worker shard must surface as an exception on the
+  // caller, exactly like 1-shard mode — not std::terminate.
+  ShardedSimulator sharded(ShardedSimulator::Config{2, 0.5});
+  sharded.shard(1).schedule_at(1.0, [] {
+    throw std::runtime_error("model callback failed");
+  });
+  sharded.shard(0).schedule_at(2.0, [] {});
+  EXPECT_THROW(sharded.run(), std::runtime_error);
+}
+
+// The mailbox ordering property of the ISSUE: cross-shard events must be
+// delivered in timestamp order across window boundaries, with ties broken
+// by (source shard, post order) — never by thread timing.
+TEST(ShardedSim, MailboxDeliversInTimestampOrderAcrossWindows) {
+  const std::size_t kShards = 3;
+  const double kLookahead = 0.01;
+  ShardedSimulator sharded(
+      ShardedSimulator::Config{kShards, kLookahead});
+
+  struct Delivery {
+    double t;        ///< receiver clock at delivery
+    double posted;   ///< timestamp the sender requested
+    int src;
+  };
+  std::vector<Delivery> log;
+
+  // Shards 1..2 run busy event chains that post to shard 0 at
+  // pseudo-random future offsets, spanning many windows. The chains are
+  // owned here (raw captures into the closures) so no shared_ptr cycle
+  // survives the run.
+  const int kPostsPerShard = 500;
+  std::vector<std::shared_ptr<std::function<void(int)>>> chains;
+  std::vector<std::shared_ptr<lifl::sim::Rng>> rngs;
+  for (std::size_t s = 1; s < kShards; ++s) {
+    rngs.push_back(std::make_shared<lifl::sim::Rng>(100 + s));
+    chains.push_back(std::make_shared<std::function<void(int)>>());
+    lifl::sim::Rng* rng = rngs.back().get();
+    std::function<void(int)>* chain = chains.back().get();
+    *chain = [&sharded, &log, rng, chain, s, kLookahead](int remaining) {
+      if (remaining == 0) return;
+      const double offset = kLookahead + rng->uniform(0.0, 0.2);
+      const double t = sharded.shard(s).now() + offset;
+      sharded.post(s, 0, t, [&sharded, &log, t, s] {
+        log.push_back(Delivery{sharded.shard(0).now(), t,
+                               static_cast<int>(s)});
+      });
+      sharded.shard(s).schedule_after(rng->uniform(0.001, 0.05),
+                                      [chain, remaining] {
+                                        (*chain)(remaining - 1);
+                                      });
+    };
+    sharded.shard(s).schedule_now([chain] { (*chain)(kPostsPerShard); });
+  }
+  // Shard 0 idles on a long horizon so it is alive for every delivery.
+  sharded.shard(0).schedule_at(1000.0, [] {});
+  sharded.run();
+
+  ASSERT_EQ(log.size(), (kShards - 1) * kPostsPerShard);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    // Delivered exactly at the requested timestamp...
+    EXPECT_EQ(log[i].t, log[i].posted);
+    // ...and in nondecreasing timestamp order.
+    if (i > 0) EXPECT_GE(log[i].t, log[i - 1].t);
+  }
+  EXPECT_GT(sharded.windows(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count equivalence of the group-partitioned campaign: a seeded
+// 2-shard run must produce identical round-completion times and aggregate
+// metrics to the 1-shard run (and, via LIFL_TEST_SHARDS, to any count).
+
+lifl::sys::ShardedCampaignConfig small_campaign(std::size_t shards) {
+  lifl::sys::ShardedCampaignConfig cfg;
+  cfg.shards = shards;
+  cfg.groups = 4;
+  cfg.rounds = 2;
+  cfg.leaves_per_group = 8;
+  cfg.updates_per_leaf = 10;
+  cfg.model_bytes = 50'000;
+  cfg.population = 20'000;
+  cfg.peak_per_sec = 400.0;
+  cfg.ramp_secs = 2.0;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(ShardedCampaign, TwoShardsEquivalentToOne) {
+  std::size_t shards = 2;
+  if (const char* env = std::getenv("LIFL_TEST_SHARDS")) {
+    shards = std::max<std::size_t>(2, std::strtoul(env, nullptr, 10));
+  }
+  const auto mono = lifl::sys::run_sharded_campaign(small_campaign(1));
+  const auto multi = lifl::sys::run_sharded_campaign(small_campaign(shards));
+
+  ASSERT_EQ(mono.round_completed_at.size(), multi.round_completed_at.size());
+  for (std::size_t r = 0; r < mono.round_completed_at.size(); ++r) {
+    EXPECT_DOUBLE_EQ(mono.round_completed_at[r], multi.round_completed_at[r])
+        << "round " << r;
+    EXPECT_EQ(mono.round_samples[r], multi.round_samples[r]) << "round " << r;
+  }
+  ASSERT_EQ(mono.groups.size(), multi.groups.size());
+  for (std::size_t g = 0; g < mono.groups.size(); ++g) {
+    EXPECT_EQ(mono.groups[g].uploads, multi.groups[g].uploads) << "group " << g;
+    EXPECT_EQ(mono.groups[g].pool_pushed, multi.groups[g].pool_pushed)
+        << "group " << g;
+    EXPECT_DOUBLE_EQ(mono.groups[g].gateway_busy_secs,
+                     multi.groups[g].gateway_busy_secs)
+        << "group " << g;
+    EXPECT_DOUBLE_EQ(mono.groups[g].gateway_wait_secs,
+                     multi.groups[g].gateway_wait_secs)
+        << "group " << g;
+    EXPECT_DOUBLE_EQ(mono.groups[g].cpu_cycles, multi.groups[g].cpu_cycles)
+        << "group " << g;
+  }
+  // The same logical events ran on both sides (the multi-shard run adds no
+  // events of its own — cross posts are the same schedule calls).
+  EXPECT_EQ(mono.events, multi.events);
+  EXPECT_DOUBLE_EQ(mono.sim_secs, multi.sim_secs);
+  // And the threaded run really was threaded.
+  EXPECT_GT(multi.windows, 0u);
+  EXPECT_GT(multi.cross_posts, 0u);
+}
+
+TEST(ShardedCampaign, GatewayRssQueuesPreserveEquivalence) {
+  // RSS fan-out (one queue per gateway core) must not break the shard
+  // equivalence: steering is by client id, which is group-local.
+  auto cfg1 = small_campaign(1);
+  cfg1.gateway_cores = 4;
+  cfg1.gateway_queues = 0;  // one queue per core
+  auto cfg2 = cfg1;
+  cfg2.shards = 2;
+  const auto mono = lifl::sys::run_sharded_campaign(cfg1);
+  const auto multi = lifl::sys::run_sharded_campaign(cfg2);
+  ASSERT_EQ(mono.round_completed_at.size(), multi.round_completed_at.size());
+  for (std::size_t r = 0; r < mono.round_completed_at.size(); ++r) {
+    EXPECT_DOUBLE_EQ(mono.round_completed_at[r], multi.round_completed_at[r]);
+  }
+  for (std::size_t g = 0; g < mono.groups.size(); ++g) {
+    EXPECT_DOUBLE_EQ(mono.groups[g].gateway_busy_secs,
+                     multi.groups[g].gateway_busy_secs);
+  }
+}
+
+}  // namespace

@@ -165,5 +165,74 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 7, 16, 64),
                        ::testing::Values(1, 2, 4, 8)));
 
+// ---------------------------------------------------------------------------
+// RSS multi-queue resource (gateway-parallel ingest).
+
+TEST(MultiQueueResource, SingleQueueMatchesPlainResource) {
+  // queues=1 must behave exactly like a Resource with `cores` servers.
+  Simulator sim;
+  MultiQueueResource mq(sim, "gw", 2, 1);
+  Resource plain(sim, "ref", 2);
+  std::vector<double> mq_done, plain_done;
+  for (int i = 0; i < 5; ++i) {
+    mq.acquire(/*flow=*/i, 2.0, [&] { mq_done.push_back(sim.now()); });
+    plain.acquire(2.0, [&] { plain_done.push_back(sim.now()); });
+  }
+  sim.run();
+  EXPECT_EQ(mq_done, plain_done);
+  EXPECT_EQ(mq.capacity(), 2u);
+  EXPECT_EQ(mq.queue_count(), 1u);
+  EXPECT_NEAR(mq.busy_time(), plain.busy_time(), 1e-12);
+}
+
+TEST(MultiQueueResource, FlowsStayOrderedOnTheirQueue) {
+  Simulator sim;
+  MultiQueueResource mq(sim, "gw", 4, 4);
+  // One hot flow: its jobs serialize on one queue regardless of 4 cores.
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    mq.acquire(/*flow=*/42, 1.0, [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  EXPECT_EQ(done, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(MultiQueueResource, ScaleUpRedistributesAcrossQueues) {
+  Simulator sim;
+  MultiQueueResource mq(sim, "gw", 2, 2);
+  mq.set_capacity(8);
+  EXPECT_EQ(mq.capacity(), 8u);
+  // 64 distinct flows over 2 queues x 4 cores: 8 in service at once.
+  int started = 0;
+  for (int i = 0; i < 64; ++i) {
+    mq.acquire(/*flow=*/i, 1.0, [&] { ++started; });
+  }
+  EXPECT_EQ(mq.busy(), 8u);
+  sim.run();
+  EXPECT_EQ(started, 64);
+}
+
+TEST(MultiQueueResource, ScaleDownNarrowsSteeringAndDrains) {
+  Simulator sim;
+  MultiQueueResource mq(sim, "gw", 4, 4);
+  // Park a job on every queue, then scale down to 1 core.
+  for (int f = 0; f < 64; ++f) mq.acquire(f, 10.0, [] {});
+  mq.set_capacity(1);
+  EXPECT_EQ(mq.capacity(), 1u);
+  // In-flight jobs are not preempted and queued jobs must not stall:
+  // everything completes.
+  std::uint64_t before = mq.completed();
+  sim.run();
+  EXPECT_EQ(mq.completed() - before, 64u);
+  // After draining, a further set_capacity reclaims surplus servers and
+  // new flows land only on the live queue.
+  mq.set_capacity(1);
+  std::uint32_t live_busy = 0;
+  for (int f = 0; f < 16; ++f) mq.acquire(f, 1.0, [] {});
+  live_busy = mq.busy();
+  EXPECT_EQ(live_busy, 1u);  // one live queue, one server
+  sim.run();
+}
+
 }  // namespace
 }  // namespace lifl::sim
