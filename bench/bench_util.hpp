@@ -2,10 +2,15 @@
 
 // Shared helpers for the figure-reproduction benches.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "src/dataplane/dataplane.hpp"
 #include "src/fl/aggregator_runtime.hpp"
@@ -17,6 +22,48 @@
 #include "src/systems/table.hpp"
 
 namespace lifl::bench {
+
+/// Peak resident set size of this process, in bytes (0 where unsupported).
+inline std::size_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss);  // macOS reports bytes
+#elif defined(__unix__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // Linux: KiB
+#else
+  return 0;
+#endif
+}
+
+/// Run-wide metadata every BENCH_*.json records, so the perf trajectory
+/// (throughput *and* footprint) is comparable across PRs: construct at the
+/// top of main(), call `write_json_fields` while emitting the JSON body.
+class BenchMeta {
+ public:
+  BenchMeta() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Wall-clock seconds since construction.
+  double wall_secs() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Emit the standard `"peak_rss_bytes"` / `"bench_wall_secs"` fields
+  /// (with a trailing comma — call just after the opening '{' line).
+  void write_json_fields(std::FILE* out) const {
+    std::fprintf(out,
+                 "  \"peak_rss_bytes\": %zu,\n"
+                 "  \"bench_wall_secs\": %.3f,\n",
+                 peak_rss_bytes(), wall_secs());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Timeline row of one aggregator in one round (Fig. 4 / Fig. 7(c) style).
 struct AggSpan {

@@ -97,7 +97,8 @@ void run_workload(const std::string& label, bool resnet18) {
     std::size_t rounds = 0;
     for (const auto& r : results) rounds = std::max(rounds, r.rounds.size());
     sys::Table t({"round", results[0].system + " cpu(s)",
-                  results[1].system + " cpu(s)", results[2].system + " cpu(s)"});
+                  results[1].system + " cpu(s)",
+                  results[2].system + " cpu(s)"});
     const std::size_t step = rounds > 16 ? rounds / 16 : 1;
     for (std::size_t i = 0; i < rounds; i += step) {
       std::vector<std::string> row{std::to_string(i + 1)};

@@ -117,7 +117,8 @@ int main() {
 
   sys::Table tax({"design", "stateful component", "always-on draw (cores)"});
   tax.row({"SF-mono", "the aggregator monolith", sys::fmt(0.10, 2)});
-  tax.row({"SF-micro", "message broker", sys::fmt(sim::calib::kBrokerIdleCores, 2)});
+  tax.row({"SF-micro", "message broker",
+           sys::fmt(sim::calib::kBrokerIdleCores, 2)});
   tax.row({"SL-B", "broker + container sidecar",
            sys::fmt(sim::calib::kBrokerIdleCores +
                         sim::calib::kContainerSidecarIdleCores,

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "src/systems/sharded_campaign.hpp"
 #include "src/systems/table.hpp"
 
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  const lifl::bench::BenchMeta meta;
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf(
       "shard-scaling microbench: mega-campaign mix, 8 node groups, "
@@ -115,7 +117,8 @@ int main(int argc, char** argv) {
                 "windows", "cross_posts"});
   for (const auto& s : samples) {
     t.row({std::to_string(s.shards), std::to_string(s.events),
-           sys::fmt(s.wall_secs, 3), sys::fmt(s.events_per_sec() / 1e6, 2) + "M",
+           sys::fmt(s.wall_secs, 3),
+           sys::fmt(s.events_per_sec() / 1e6, 2) + "M",
            sys::fmt(s.events_per_sec() / base, 2) + "x",
            std::to_string(s.windows), std::to_string(s.cross_posts)});
   }
@@ -123,8 +126,9 @@ int main(int argc, char** argv) {
 
   FILE* out = std::fopen("BENCH_shard_scaling.json", "w");
   if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
     std::fprintf(out,
-                 "{\n"
                  "  \"bench\": \"shard_scaling\",\n"
                  "  \"hardware_threads\": %u,\n"
                  "  \"updates_per_leaf\": %zu,\n"

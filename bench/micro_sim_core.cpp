@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -278,6 +279,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  const lifl::bench::BenchMeta meta;
   std::printf("sim-core microbench, %zu-event mixes\n\n", n);
 
   // One armed deadline per client, one foreground hop per client.
@@ -305,9 +307,10 @@ int main(int argc, char** argv) {
 
   FILE* out = std::fopen("BENCH_sim_core.json", "w");
   if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
     std::fprintf(
         out,
-        "{\n"
         "  \"bench\": \"sim_core\",\n"
         "  \"events\": %zu,\n"
         "  \"campaign\": {\"legacy_ops_per_sec\": %.0f, "

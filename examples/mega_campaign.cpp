@@ -158,7 +158,8 @@ std::vector<RoundStats> run_campaign(const CampaignConfig& cfg,
       const wl::ClientProfile profile = population[idx];
       const auto node =
           static_cast<sim::NodeId>(participant_counter % cfg.nodes);
-      sim.schedule_at(epoch + next_rel, [&, node, profile, round, prev = next_rel] {
+      sim.schedule_at(epoch + next_rel, [&, node, profile, round,
+                                         prev = next_rel] {
         fl::ModelUpdate u;
         u.model_version = static_cast<std::uint32_t>(round);
         u.producer = profile.id;

@@ -47,7 +47,8 @@ int main() {
     sys::Table t({"round", "duration(s)", "ACT(s)", "cpu(s)", "created",
                   "reused", "nodes"});
     for (const auto& r : result.rounds) {
-      t.row({std::to_string(r.round), sys::fmt(r.completed_at - r.started_at, 1),
+      t.row({std::to_string(r.round),
+             sys::fmt(r.completed_at - r.started_at, 1),
              sys::fmt(r.act, 1), sys::fmt(r.cpu_secs, 1),
              std::to_string(r.created), std::to_string(r.reused),
              std::to_string(r.nodes_used)});

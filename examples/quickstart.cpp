@@ -77,10 +77,13 @@ int main() {
     for (auto n : assignment) counts[n]++;
 
     bool completed = false;
+    std::uint64_t fold_allocs = 0, fold_hits = 0;
     service.arm(counts, static_cast<std::uint32_t>(round),
                 global.param_count() * 4,
                 [&](const sys::AggregationService::BatchResult& batch) {
                   completed = true;
+                  fold_allocs = batch.tensor_allocs;
+                  fold_hits = batch.tensor_pool_hits;
                   // Install the aggregated parameters as the new global model.
                   global.set_params(*batch.global_update.tensor);
                 });
@@ -92,7 +95,7 @@ int main() {
       u.producer = 1000 + c;
       u.sample_count = updates[c].sample_count;
       u.logical_bytes = global.param_count() * 4;
-      u.tensor = std::make_shared<const ml::Tensor>(updates[c].params);
+      u.tensor = updates[c].params;  // pooled, zero-copy into the plane
       plane.client_upload(assignment[c], std::move(u), /*uplink=*/100e6);
     }
 
@@ -103,9 +106,11 @@ int main() {
     }
     service.finish_batch();
     std::printf("round %2zu: accuracy %.3f  (sim time %.2fs, %u created, "
-                "%u reused)\n",
+                "%u reused, fold pool %llu hits / %llu allocs)\n",
                 round, global.accuracy(test_set), sim.now(),
-                service.total_created(), service.total_reused());
+                service.total_created(), service.total_reused(),
+                static_cast<unsigned long long>(fold_hits),
+                static_cast<unsigned long long>(fold_allocs));
   }
 
   std::printf("\nshared-memory stats (node 0): %llu puts, %llu recycled, "

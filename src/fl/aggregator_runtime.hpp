@@ -60,7 +60,7 @@ class AggregatorRuntime {
     std::uint32_t goal = 1;        ///< direct updates to fold before Send
     ParticipantId consumer = 0;    ///< downstream aggregator (0: use on_result)
     std::size_t result_bytes = 0;  ///< wire size of the produced update
-    bool pull_from_pool = false;   ///< leaf: pull client updates off the node pool
+    bool pull_from_pool = false;   ///< leaf: pull updates off the node pool
     ResultFn on_result;            ///< sink for the aggregate (top level)
     /// Accept only updates for this global model version (0 = accept any);
     /// stale stragglers from earlier rounds are discarded (§2.1).

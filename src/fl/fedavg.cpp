@@ -2,17 +2,27 @@
 
 #include <stdexcept>
 
+#include "src/ml/kernels.hpp"
+
 namespace lifl::fl {
+
+namespace {
+
+namespace k = ml::kernels;
+
+}  // namespace
 
 void FedAvgAccumulator::add(const ModelUpdate& update) {
   if (update.sample_count == 0) {
     throw std::invalid_argument("FedAvg: update with zero sample_count");
   }
+  finalized_.reset();
   if (update.tensor) {
     add_tensor_weighted(update.tensor, update.sample_count);
-  } else {
-    total_samples_ += update.sample_count;
   }
+  // Logical-only weight: contributes to the divisor and nothing to the sum
+  // (the defined zero tensor) — exact in sum form, no rescaling.
+  total_samples_ += update.sample_count;
   updates_folded_ += update.updates_folded;
 }
 
@@ -21,39 +31,79 @@ void FedAvgAccumulator::add(const std::shared_ptr<const ml::Tensor>& params,
   if (sample_count == 0) {
     throw std::invalid_argument("FedAvg: zero sample_count");
   }
+  finalized_.reset();
   if (params) {
     add_tensor_weighted(params, sample_count);
-  } else {
-    total_samples_ += sample_count;
   }
+  total_samples_ += sample_count;
   ++updates_folded_;
 }
 
 void FedAvgAccumulator::add_tensor_weighted(
     const std::shared_ptr<const ml::Tensor>& params,
     std::uint64_t sample_count) {
-  const std::uint64_t new_total = total_samples_ + sample_count;
-  if (!avg_) {
-    // First tensor: copy-on-write start of the running average.
-    avg_ = std::make_shared<ml::Tensor>(*params);
-    if (total_samples_ > 0) {
-      // Logical-only weight arrived earlier; it is defined to carry a zero
-      // tensor, keeping the weighted-mean invariant exact in mixed mode.
-      avg_->scale(static_cast<float>(static_cast<double>(sample_count) /
-                                     static_cast<double>(new_total)));
-    }
-  } else {
-    // avg += (w - avg) * c / (C + c)
-    const float lambda = static_cast<float>(static_cast<double>(sample_count) /
-                                            static_cast<double>(new_total));
-    avg_->scale(1.0f - lambda);
-    avg_->axpy(lambda, *params);
+  const std::size_t n = params->size();
+  std::size_t have = n;
+  if (pending_) {
+    have = pending_->size();
+  } else if (sum_) {
+    have = sum_->size();
   }
-  total_samples_ = new_total;
+  if (n != have) {
+    throw std::invalid_argument("FedAvg: tensor size mismatch");
+  }
+  const float w = static_cast<float>(sample_count);
+  if (!pending_) {
+    // Park the update zero-copy (a shared_ptr to the shm-resident tensor)
+    // until a partner arrives: two updates then fold in ONE accumulator
+    // sweep instead of two.
+    pending_ = params;
+    pending_weight_ = w;
+    return;
+  }
+  const k::Ops& ops = k::ops();
+  if (!sum_) {
+    sum_ = ml::TensorPool::global().acquire(n);
+    ops.axpby_into(sum_->data(), pending_weight_, pending_->data(), w,
+                   params->data(), n);
+  } else {
+    ops.axpy2(sum_->data(), pending_weight_, pending_->data(), w,
+              params->data(), n);
+  }
+  pending_.reset();
+  pending_weight_ = 0.0f;
+}
+
+void FedAvgAccumulator::flush_pending() {
+  if (!pending_) return;
+  const k::Ops& ops = k::ops();
+  if (!sum_) {
+    sum_ = ml::TensorPool::global().acquire(pending_->size());
+    ops.scale_into(sum_->data(), pending_weight_, pending_->data(),
+                   pending_->size());
+  } else {
+    ops.axpy(sum_->data(), pending_weight_, pending_->data(),
+             pending_->size());
+  }
+  pending_.reset();
+  pending_weight_ = 0.0f;
+}
+
+void FedAvgAccumulator::finalize() const {
+  if (finalized_) return;
+  auto* self = const_cast<FedAvgAccumulator*>(this);
+  self->flush_pending();
+  if (!sum_ || total_samples_ == 0) return;
+  const auto inv = static_cast<float>(
+      1.0 / static_cast<double>(total_samples_));
+  auto avg = ml::TensorPool::global().acquire(sum_->size());
+  k::ops().scale_into(avg->data(), inv, sum_->data(), sum_->size());
+  finalized_ = std::move(avg);
 }
 
 std::shared_ptr<const ml::Tensor> FedAvgAccumulator::result() const {
-  return avg_;
+  finalize();
+  return finalized_;
 }
 
 ModelUpdate FedAvgAccumulator::make_update(std::uint32_t model_version,
@@ -65,12 +115,17 @@ ModelUpdate FedAvgAccumulator::make_update(std::uint32_t model_version,
   u.sample_count = total_samples_;
   u.updates_folded = updates_folded_;
   u.logical_bytes = logical_bytes;
-  u.tensor = avg_;
+  u.tensor = result();
   return u;
 }
 
 void FedAvgAccumulator::reset() {
-  avg_.reset();
+  // Dropping the pooled handles recycles the buffers (unless a consumer
+  // still holds the finalized average — then it recycles when they drop).
+  sum_.reset();
+  pending_.reset();
+  pending_weight_ = 0.0f;
+  finalized_.reset();
   total_samples_ = 0;
   updates_folded_ = 0;
 }
@@ -78,11 +133,29 @@ void FedAvgAccumulator::reset() {
 ml::Tensor FedAvgAccumulator::batch_average(
     const std::vector<std::pair<const ml::Tensor*, std::uint64_t>>& updates) {
   if (updates.empty()) return {};
-  ml::Tensor out(updates.front().first->size(), 0.0f);
+  const std::size_t n = updates.front().first->size();
+  ml::Tensor out(n, 0.0f);
   double total = 0.0;
-  for (const auto& [t, c] : updates) total += static_cast<double>(c);
   for (const auto& [t, c] : updates) {
-    out.axpy(static_cast<float>(static_cast<double>(c) / total), *t);
+    if (t->size() != n) {
+      throw std::invalid_argument("FedAvg: batch tensor size mismatch");
+    }
+    total += static_cast<double>(c);
+  }
+  const k::Ops& ops = k::ops();
+  std::size_t i = 0;
+  for (; i + 2 <= updates.size(); i += 2) {
+    const auto& [t0, c0] = updates[i];
+    const auto& [t1, c1] = updates[i + 1];
+    ops.axpy2(out.data(),
+              static_cast<float>(static_cast<double>(c0) / total), t0->data(),
+              static_cast<float>(static_cast<double>(c1) / total), t1->data(),
+              n);
+  }
+  for (; i < updates.size(); ++i) {
+    const auto& [t, c] = updates[i];
+    ops.axpy(out.data(), static_cast<float>(static_cast<double>(c) / total),
+             t->data(), n);
   }
   return out;
 }

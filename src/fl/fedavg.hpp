@@ -6,23 +6,35 @@
 
 #include "src/fl/model_update.hpp"
 #include "src/ml/tensor.hpp"
+#include "src/ml/tensor_pool.hpp"
 
 namespace lifl::fl {
 
-/// Streaming FedAvg (Eq. 1): maintains the running sample-weighted average
-/// of the updates added so far.
+/// Streaming FedAvg (Eq. 1) in **sum form**: maintains the weighted *sum*
+///     S_k = Σ c_i · w_i
+/// of the updates added so far and divides once at finalize,
+///     avg = S / Σ c_i.
 ///
-/// The cumulative form
-///     avg_k = avg_{k-1} + (w_k - avg_{k-1}) * c_k / (C_{k-1} + c_k)
-/// is algebraically identical to the batch weighted mean, which is what
-/// makes *eager* aggregation (§2.1, §5.4) possible: updates can be folded in
-/// as they arrive, in any order, and the result equals lazy batch
-/// aggregation. The accumulator also works on logical-only updates (no
-/// tensor), where it just tracks weights and counts — the system-simulation
-/// mode.
+/// The seed kept the running *mean* instead, which costs a full `scale`
+/// sweep plus a full `axpy` sweep per fold (2× the memory traffic of the
+/// fused form) and a per-fold rescaling rounding step. Sum form folds with
+/// ONE fused pass (`kernels::axpy`), and — because the accumulator parks
+/// each arriving tensor until a second one shows up — usually folds two
+/// updates per read-modify-write sweep of the accumulator
+/// (`kernels::axpy2`), halving accumulator traffic again. Parking is free:
+/// it holds a `shared_ptr` to the shm-resident update, zero copies.
+///
+/// Eager == lazy still holds (addition commutes), and mixed logical/real
+/// mode is now *exact*: a logical-only update (no tensor) contributes its
+/// weight to the divisor and nothing to the sum — exactly the "carries a
+/// zero tensor" definition, with no rescaling of already-folded state.
+///
+/// All buffers (the running sum, the finalized average) come from
+/// `ml::TensorPool::global()`: steady-state rounds perform zero tensor heap
+/// allocations.
 class FedAvgAccumulator {
  public:
-  /// Fold one update into the running average.
+  /// Fold one update into the running aggregate.
   void add(const ModelUpdate& update);
 
   /// Fold a raw (tensor, weight) pair.
@@ -35,14 +47,17 @@ class FedAvgAccumulator {
   /// Total sample weight aggregated so far (T of Eq. 1).
   std::uint64_t total_samples() const noexcept { return total_samples_; }
 
-  /// The running weighted average; null if only logical updates were added.
+  /// The weighted average of everything added so far; null if only logical
+  /// updates were added. Finalizes lazily (flush the parked update, one
+  /// divide pass) and caches until the next add().
   std::shared_ptr<const ml::Tensor> result() const;
 
   /// Produce the intermediate/final ModelUpdate for this aggregate.
   ModelUpdate make_update(std::uint32_t model_version, ParticipantId producer,
                           std::size_t logical_bytes) const;
 
-  /// Clear all state (aggregators are stateless across rounds).
+  /// Clear all state (aggregators are stateless across rounds). Releases
+  /// the pooled buffers back to the pool.
   void reset();
 
   /// Reference batch implementation: weighted mean of (tensor, weight)
@@ -53,8 +68,17 @@ class FedAvgAccumulator {
  private:
   void add_tensor_weighted(const std::shared_ptr<const ml::Tensor>& params,
                            std::uint64_t sample_count);
+  /// Fold the parked update (if any) into the sum — called before finalize
+  /// so observable state is always complete.
+  void flush_pending();
+  /// Compute (and cache) the finalized average.
+  void finalize() const;
 
-  std::shared_ptr<ml::Tensor> avg_;  ///< owned mutable running average
+  std::shared_ptr<ml::Tensor> sum_;  ///< pooled Σ c_i·w_i
+  /// One update parked zero-copy, waiting to pair into a dual fold.
+  std::shared_ptr<const ml::Tensor> pending_;
+  float pending_weight_ = 0.0f;
+  mutable std::shared_ptr<const ml::Tensor> finalized_;  ///< cached average
   std::uint64_t total_samples_ = 0;
   std::uint32_t updates_folded_ = 0;
 };

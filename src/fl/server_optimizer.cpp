@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/ml/kernels.hpp"
+#include "src/ml/tensor_pool.hpp"
+
 namespace lifl::fl {
 
 std::string to_string(ServerOptimizerKind kind) {
@@ -29,15 +32,18 @@ void ServerOptimizer::step(ml::Tensor& global, const ml::Tensor& round_avg) {
     return;
   }
 
-  // Pseudo-gradient of the round.
-  ml::Tensor delta(n);
-  for (std::size_t i = 0; i < n; ++i) delta[i] = round_avg[i] - global[i];
+  const ml::kernels::Ops& ops = ml::kernels::ops();
+
+  // Pseudo-gradient of the round, in a pooled scratch buffer (released back
+  // to the pool when `delta` drops at the end of the step).
+  auto delta = ml::TensorPool::global().acquire(n);
+  ops.axpby_into(delta->data(), 1.0f, round_avg.data(), -1.0f, global.data(),
+                 n);
 
   if (momentum_.size() != n) momentum_ = ml::Tensor(n, 0.0f);
   const auto beta1 = static_cast<float>(cfg_.beta1);
-  for (std::size_t i = 0; i < n; ++i) {
-    momentum_[i] = beta1 * momentum_[i] + (1.0f - beta1) * delta[i];
-  }
+  // m = β1·m + (1-β1)·Δ — the fused scale+axpy pair in one pass.
+  ops.axpby(momentum_.data(), beta1, 1.0f - beta1, delta->data(), n);
   // Adam-style bias correction: without it the momentum estimate starts at
   // (1-beta1) of the true pseudo-gradient and needs ~1/(1-beta1) rounds to
   // ramp — far too slow for FL where rounds are expensive.
@@ -54,9 +60,13 @@ void ServerOptimizer::step(ml::Tensor& global, const ml::Tensor& round_avg) {
   if (second_moment_.size() != n) second_moment_ = ml::Tensor(n, 0.0f);
   const auto beta2 = static_cast<float>(cfg_.beta2);
   const auto tau = static_cast<float>(cfg_.tau);
+  const float* __restrict d = delta->data();
+  float* __restrict sm = second_moment_.data();
+  float* __restrict g = global.data();
+  const float* __restrict m = momentum_.data();
   for (std::size_t i = 0; i < n; ++i) {
-    const float d2 = delta[i] * delta[i];
-    float& v = second_moment_[i];
+    const float d2 = d[i] * d[i];
+    float& v = sm[i];
     switch (cfg_.kind) {
       case ServerOptimizerKind::kFedAdagrad:
         v += d2;
@@ -71,7 +81,7 @@ void ServerOptimizer::step(ml::Tensor& global, const ml::Tensor& round_avg) {
       case ServerOptimizerKind::kFedAvgM:
         break;  // unreachable
     }
-    global[i] += lr * (momentum_[i] / bias1) / (std::sqrt(v) + tau);
+    g[i] += lr * (m[i] / bias1) / (std::sqrt(v) + tau);
   }
 }
 

@@ -13,7 +13,8 @@ FederatedDataGen::FederatedDataGen(const SyntheticTaskConfig& cfg, sim::Rng rng)
 void FederatedDataGen::sample_from_class(int cls, sim::Rng& rng,
                                          std::vector<float>& out) {
   out.resize(cfg_.feature_dim);
-  const float* mean = class_means_.data() + static_cast<std::size_t>(cls) * cfg_.feature_dim;
+  const float* mean =
+      class_means_.data() + static_cast<std::size_t>(cls) * cfg_.feature_dim;
   for (std::size_t j = 0; j < cfg_.feature_dim; ++j) {
     out[j] = mean[j] + static_cast<float>(rng.normal(0.0, cfg_.sample_noise));
   }

@@ -96,7 +96,8 @@ double Mlp::loss(const Dataset& data) const {
   for (std::size_t i = 0; i < data.size(); ++i) {
     auto lg = logits(data.row(i));
     softmax(lg);
-    const float p = std::max(lg[static_cast<std::size_t>(data.labels[i])], 1e-12f);
+    const float p =
+        std::max(lg[static_cast<std::size_t>(data.labels[i])], 1e-12f);
     total += -std::log(p);
   }
   return data.size() ? total / static_cast<double>(data.size()) : 0.0;

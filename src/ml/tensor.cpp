@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/ml/kernels.hpp"
+
 namespace lifl::ml {
 
 Tensor Tensor::randn(sim::Rng& rng, std::size_t n, float stddev) {
@@ -17,32 +19,34 @@ void Tensor::axpy(float a, const Tensor& x) {
   if (x.size() != size()) {
     throw std::invalid_argument("Tensor::axpy: size mismatch");
   }
-  float* __restrict p = data_.data();
-  const float* __restrict q = x.data_.data();
-  const std::size_t n = data_.size();
-  for (std::size_t i = 0; i < n; ++i) p[i] += a * q[i];
+  kernels::ops().axpy(data_.data(), a, x.data_.data(), data_.size());
+}
+
+void Tensor::axpby(float a, float b, const Tensor& x) {
+  if (x.size() != size()) {
+    throw std::invalid_argument("Tensor::axpby: size mismatch");
+  }
+  kernels::ops().axpby(data_.data(), a, b, x.data_.data(), data_.size());
 }
 
 void Tensor::scale(float a) noexcept {
-  for (auto& v : data_) v *= a;
+  kernels::ops().scale(data_.data(), a, data_.size());
 }
 
 void Tensor::fill(float value) noexcept {
-  for (auto& v : data_) v = value;
+  kernels::ops().fill(data_.data(), value, data_.size());
 }
 
 double Tensor::dot(const Tensor& x) const {
   if (x.size() != size()) {
     throw std::invalid_argument("Tensor::dot: size mismatch");
   }
-  double acc = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    acc += static_cast<double>(data_[i]) * static_cast<double>(x.data_[i]);
-  }
-  return acc;
+  return kernels::ops().dot(data_.data(), x.data_.data(), data_.size());
 }
 
-double Tensor::l2norm() const { return std::sqrt(dot(*this)); }
+double Tensor::l2norm() const {
+  return kernels::ops().nrm2(data_.data(), data_.size());
+}
 
 double Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
   if (a.size() != b.size()) {
@@ -50,7 +54,8 @@ double Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
   }
   double m = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+    m = std::max(
+        m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
   }
   return m;
 }

@@ -34,6 +34,10 @@ class Tensor {
   /// this += a * x. Sizes must match.
   void axpy(float a, const Tensor& x);
 
+  /// this = a * this + b * x in ONE read-modify-write pass — the fused form
+  /// of the scale-then-axpy pair. Sizes must match.
+  void axpby(float a, float b, const Tensor& x);
+
   /// this *= a.
   void scale(float a) noexcept;
 

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "src/ml/tensor_pool.hpp"
+
 namespace lifl::ml {
 
 LocalUpdate local_train(const Mlp& architecture, const Tensor& global_params,
@@ -13,7 +15,10 @@ LocalUpdate local_train(const Mlp& architecture, const Tensor& global_params,
   std::vector<std::size_t> order(shard.size());
   std::iota(order.begin(), order.end(), 0);
 
-  Tensor grad(model.param_count());
+  // Pooled gradient scratch: every client of the round reuses one buffer
+  // instead of allocating param_count floats per local_train call.
+  // Contents may be stale — Mlp::gradient zero-fills before accumulating.
+  auto grad = TensorPool::global().acquire(model.param_count());
   double last_loss = 0.0;
   for (std::size_t e = 0; e < cfg.epochs; ++e) {
     rng.shuffle(order);
@@ -21,13 +26,20 @@ LocalUpdate local_train(const Mlp& architecture, const Tensor& global_params,
       const std::size_t end = std::min(start + cfg.batch_size, order.size());
       const std::vector<std::size_t> batch(order.begin() + start,
                                            order.begin() + end);
-      last_loss = model.gradient(shard, batch, grad);
-      model.sgd_step(grad, cfg.learning_rate);
+      last_loss = model.gradient(shard, batch, *grad);
+      model.sgd_step(*grad, cfg.learning_rate);
     }
   }
 
   LocalUpdate out;
-  out.params = model.params();
+  // Hand the trained parameters over without a copy: the model is dying,
+  // so its parameter buffer moves into a pooled handle the caller can
+  // attach to a ModelUpdate directly (and that recycles after the fold).
+  // Note the buffer itself was allocated by the Mlp constructor — the
+  // training path pays one model allocation per call (counted as
+  // `adopted`, not a pool miss); the zero-alloc guarantee covers the FOLD
+  // path, and donating this buffer is what keeps that pool fed.
+  out.params = TensorPool::global().adopt(std::move(model.mutable_params()));
   out.sample_count = shard.size();
   out.train_loss = last_loss;
   return out;

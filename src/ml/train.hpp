@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "src/ml/dataset.hpp"
 #include "src/ml/mlp.hpp"
@@ -19,8 +20,12 @@ struct LocalTrainConfig {
 
 /// Result of local training: the new parameters and the sample count that
 /// weights them in FedAvg (the auxiliary information A_k of Eq. 1).
+///
+/// `params` is a pool-recycled shared tensor, ready to ride a ModelUpdate
+/// through the data plane with zero further copies: assign it to
+/// `ModelUpdate::tensor` and upload.
 struct LocalUpdate {
-  Tensor params;
+  std::shared_ptr<const Tensor> params;
   std::size_t sample_count = 0;
   double train_loss = 0.0;
 };

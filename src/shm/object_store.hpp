@@ -36,9 +36,17 @@ struct ObjectStoreStats {
 /// `logical_bytes` of an object may exceed the bytes actually held in this
 /// process (e.g. a ResNet-152 update is 240 MB logically but carries no real
 /// tensor in pure system-level simulations).
+///
+/// The store's recycle pool accounts *logical* bytes; its physical
+/// counterpart for real tensor payloads is `ml::TensorPool` — a pooled
+/// tensor `put` here recycles into that pool automatically when its last
+/// shm lease drops (the shared_ptr deleter is the recycler), so the two
+/// pools describe the same allocate/recycle/destroy lifecycle at the two
+/// levels the platform models.
 class ObjectStore {
  public:
-  explicit ObjectStore(sim::Rng rng, std::size_t pool_capacity_bytes = 2ull << 30)
+  explicit ObjectStore(sim::Rng rng,
+                       std::size_t pool_capacity_bytes = 2ull << 30)
       : rng_(rng), pool_capacity_(pool_capacity_bytes) {}
 
   ObjectStore(const ObjectStore&) = delete;

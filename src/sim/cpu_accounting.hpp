@@ -62,7 +62,9 @@ class CpuAccountant {
 
   /// Merge another ledger into this one (cluster-wide totals).
   void merge(const CpuAccountant& other) noexcept {
-    for (std::size_t i = 0; i < cycles_.size(); ++i) cycles_[i] += other.cycles_[i];
+    for (std::size_t i = 0; i < cycles_.size(); ++i) {
+      cycles_[i] += other.cycles_[i];
+    }
     total_ += other.total_;
   }
 

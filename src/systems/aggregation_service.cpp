@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/ml/tensor_pool.hpp"
+
 namespace lifl::sys {
 
 AggregationService::AggregationService(sim::Cluster& cluster,
@@ -108,6 +110,9 @@ void AggregationService::on_global(fl::ModelUpdate u) {
   pending_.global_update = std::move(u);
   pending_.created = total_created() - created_at_arm_;
   pending_.reused = total_reused() - reused_at_arm_ + promotions_;
+  const ml::TensorPoolStats pool = ml::TensorPool::global().stats();
+  pending_.tensor_pool_hits = pool.pool_hits - pool_hits_at_arm_;
+  pending_.tensor_allocs = pool.misses - pool_misses_at_arm_;
   double first = -1.0;
   for (const auto* rt : batch_instances_) {
     if (rt->first_arrival_at() >= 0 &&
@@ -169,6 +174,9 @@ void AggregationService::arm(const std::vector<std::uint32_t>& counts_per_node,
   pending_.updates = total;
   created_at_arm_ = total_created();
   reused_at_arm_ = total_reused();
+  const ml::TensorPoolStats pool = ml::TensorPool::global().stats();
+  pool_hits_at_arm_ = pool.pool_hits;
+  pool_misses_at_arm_ = pool.misses;
   promotions_ = 0;
   batch_instances_.clear();
   node_batches_.assign(cluster_.size(), NodeBatch{});

@@ -41,6 +41,12 @@ class AggregationService {
     std::uint32_t created = 0;       ///< instances cold-started for this batch
     std::uint32_t reused = 0;        ///< instances reused for this batch
     std::size_t nodes_used = 0;
+    /// Real-tensor fold-path telemetry (global TensorPool deltas over the
+    /// batch): buffers served from the recycle pool vs heap-allocated.
+    /// Steady-state rounds must show tensor_allocs == 0 — the zero-alloc
+    /// discipline of §4.1 extended to the ML payloads.
+    std::uint64_t tensor_pool_hits = 0;
+    std::uint64_t tensor_allocs = 0;
 
     /// Aggregation completion time of the batch.
     double act() const noexcept { return completed_at - armed_at; }
@@ -135,6 +141,8 @@ class AggregationService {
   CompletionFn on_complete_;
   std::uint32_t created_at_arm_ = 0;
   std::uint32_t reused_at_arm_ = 0;
+  std::uint64_t pool_hits_at_arm_ = 0;
+  std::uint64_t pool_misses_at_arm_ = 0;
   std::uint32_t promotions_ = 0;      ///< within-round role conversions (§5.3)
 
   fl::ParticipantId next_id_ = 1;

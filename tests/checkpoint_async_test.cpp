@@ -77,7 +77,8 @@ struct AsyncWorld {
   sim::Cluster cluster;
   dp::DataPlane plane;
 
-  AsyncWorld() : cluster(sim, 1), plane(cluster, dp::lifl_plane(), sim::Rng(7)) {}
+  AsyncWorld()
+      : cluster(sim, 1), plane(cluster, dp::lifl_plane(), sim::Rng(7)) {}
 
   void upload(std::uint32_t version, std::size_t bytes = 1'000'000) {
     ModelUpdate u;

@@ -107,8 +107,10 @@ TEST(TinyResNet, IdentityBlocksPreserveStemWhenZeroed) {
   net.init(rng);
   Tensor p = net.params();
   // Zero both convs of the block: they sit between stem and dense head.
-  const std::size_t stem_params = cfg.filters * cfg.in_channels * 9 + cfg.filters;
-  const std::size_t block_params = 2 * (cfg.filters * cfg.filters * 9 + cfg.filters);
+  const std::size_t stem_params =
+      cfg.filters * cfg.in_channels * 9 + cfg.filters;
+  const std::size_t block_params =
+      2 * (cfg.filters * cfg.filters * 9 + cfg.filters);
   for (std::size_t i = stem_params; i < stem_params + block_params; ++i) {
     p[i] = 0.0f;
   }
@@ -122,7 +124,8 @@ TEST(TinyResNet, IdentityBlocksPreserveStemWhenZeroed) {
   TinyResNet stem_net(stem_cfg);
   Tensor sp(stem_net.param_count(), 0.0f);
   for (std::size_t i = 0; i < stem_params; ++i) sp[i] = p[i];
-  const std::size_t dense_params = cfg.num_classes * cfg.filters + cfg.num_classes;
+  const std::size_t dense_params =
+      cfg.num_classes * cfg.filters + cfg.num_classes;
   for (std::size_t i = 0; i < dense_params; ++i) {
     sp[stem_params + i] = p[stem_params + block_params + i];
   }

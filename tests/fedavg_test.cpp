@@ -105,6 +105,16 @@ TEST(FedAvg, BatchAverageMatchesHandComputed) {
   EXPECT_NEAR(avg[1], 0.25f, 1e-6);
 }
 
+TEST(FedAvg, SizeMismatchesThrow) {
+  const auto a = tensor_of({1.0f, 2.0f});
+  const auto b = tensor_of({1.0f});
+  EXPECT_THROW(FedAvgAccumulator::batch_average({{a.get(), 1}, {b.get(), 1}}),
+               std::invalid_argument);
+  FedAvgAccumulator acc;
+  acc.add(a, 10);
+  EXPECT_THROW(acc.add(b, 10), std::invalid_argument);
+}
+
 // ---- Property: eager (cumulative) == lazy (batch), any weights/order.
 class FedAvgEagerLazyProperty : public ::testing::TestWithParam<int> {};
 
@@ -180,6 +190,172 @@ TEST_P(FedAvgHierarchyProperty, TwoLevelEqualsFlat) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FedAvgHierarchyProperty,
                          ::testing::Range(1, 16));
+
+// ---- Properties of the sum-form refactor: the fused accumulator must be
+// numerically interchangeable with the seed's streaming-mean form,
+// bitwise deterministic, and exact in mixed logical/real mode.
+
+/// The seed's streaming-mean algorithm, reproduced as the reference:
+///   avg <- avg + (w - avg) * c / (C + c)  via scale(1-λ) + axpy(λ, w),
+/// with a logical-weight-aware first fold.
+ml::Tensor seed_streaming_mean(
+    const std::vector<std::shared_ptr<const ml::Tensor>>& tensors,
+    const std::vector<std::uint64_t>& weights) {
+  std::unique_ptr<ml::Tensor> avg;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    const std::uint64_t c = weights[i];
+    const std::uint64_t new_total = total + c;
+    if (!avg) {
+      avg = std::make_unique<ml::Tensor>(*tensors[i]);
+      if (total > 0) {
+        avg->scale(static_cast<float>(static_cast<double>(c) /
+                                      static_cast<double>(new_total)));
+      }
+    } else {
+      const float lambda = static_cast<float>(
+          static_cast<double>(c) / static_cast<double>(new_total));
+      avg->scale(1.0f - lambda);
+      avg->axpy(lambda, *tensors[i]);
+    }
+    total = new_total;
+  }
+  return avg ? *avg : ml::Tensor{};
+}
+
+class FedAvgSumFormProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FedAvgSumFormProperty, MatchesSeedStreamingMeanAcrossOrders) {
+  sim::Rng rng(4000 + GetParam());
+  const std::size_t n = 2 + rng.uniform_index(24);
+  const std::size_t dim = 1 + rng.uniform_index(100);
+
+  std::vector<std::shared_ptr<const ml::Tensor>> tensors;
+  std::vector<std::uint64_t> weights;
+  for (std::size_t i = 0; i < n; ++i) {
+    ml::Tensor t(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      t[j] = static_cast<float>(rng.normal(0.0, 3.0));
+    }
+    tensors.push_back(std::make_shared<const ml::Tensor>(std::move(t)));
+    weights.push_back(1 + rng.uniform_index(2000));
+  }
+
+  // A couple of random fold orders per seed: both forms see the same order.
+  std::vector<std::size_t> order(n);
+  for (int shuffle = 0; shuffle < 3; ++shuffle) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    rng.shuffle(order);
+
+    std::vector<std::shared_ptr<const ml::Tensor>> ts;
+    std::vector<std::uint64_t> ws;
+    FedAvgAccumulator acc;
+    for (const std::size_t i : order) {
+      ts.push_back(tensors[i]);
+      ws.push_back(weights[i]);
+      acc.add(tensors[i], weights[i]);
+    }
+    const ml::Tensor seed_ref = seed_streaming_mean(ts, ws);
+    const auto sum_form = acc.result();
+    ASSERT_TRUE(sum_form);
+    for (std::size_t j = 0; j < dim; ++j) {
+      EXPECT_NEAR((*sum_form)[j], seed_ref[j],
+                  1e-5 * (1.0 + std::abs(seed_ref[j])))
+          << "element " << j << " shuffle " << shuffle;
+    }
+  }
+}
+
+TEST_P(FedAvgSumFormProperty, BitwiseDeterministicForFixedOrder) {
+  sim::Rng rng(5000 + GetParam());
+  const std::size_t n = 2 + rng.uniform_index(16);
+  const std::size_t dim = 1 + rng.uniform_index(64);
+
+  std::vector<std::shared_ptr<const ml::Tensor>> tensors;
+  std::vector<std::uint64_t> weights;
+  for (std::size_t i = 0; i < n; ++i) {
+    ml::Tensor t(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      t[j] = static_cast<float>(rng.normal(0.0, 1.0));
+    }
+    tensors.push_back(std::make_shared<const ml::Tensor>(std::move(t)));
+    weights.push_back(1 + rng.uniform_index(999));
+  }
+
+  FedAvgAccumulator a, b;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(tensors[i], weights[i]);
+    b.add(tensors[i], weights[i]);
+  }
+  const auto ra = a.result();
+  const auto rb = b.result();
+  ASSERT_TRUE(ra);
+  ASSERT_TRUE(rb);
+  EXPECT_TRUE(*ra == *rb);  // bitwise: same order => same result
+}
+
+TEST_P(FedAvgSumFormProperty, MixedLogicalWeightInvariant) {
+  // A logical-only update is DEFINED to carry a zero tensor: it adds its
+  // weight to the divisor and nothing to the sum. In sum form that holds
+  // exactly — where the logical updates land in the fold order must not
+  // change the result at all (bitwise), and the result must match the
+  // zero-tensor weighted mean computed in double precision.
+  sim::Rng rng(6000 + GetParam());
+  const std::size_t n = 2 + rng.uniform_index(10);
+  const std::size_t dim = 1 + rng.uniform_index(32);
+  const std::uint64_t logical_weight = 1 + rng.uniform_index(5000);
+
+  std::vector<std::shared_ptr<const ml::Tensor>> tensors;
+  std::vector<std::uint64_t> weights;
+  for (std::size_t i = 0; i < n; ++i) {
+    ml::Tensor t(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      t[j] = static_cast<float>(rng.normal(0.0, 2.0));
+    }
+    tensors.push_back(std::make_shared<const ml::Tensor>(std::move(t)));
+    weights.push_back(1 + rng.uniform_index(800));
+  }
+
+  ModelUpdate logical;
+  logical.sample_count = logical_weight;
+  logical.logical_bytes = dim * sizeof(float);
+
+  // Logical first vs logical in the middle vs logical last.
+  FedAvgAccumulator first, middle, last;
+  first.add(logical);
+  for (std::size_t i = 0; i < n; ++i) first.add(tensors[i], weights[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == n / 2) middle.add(logical);
+    middle.add(tensors[i], weights[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) last.add(tensors[i], weights[i]);
+  last.add(logical);
+
+  const auto rf = first.result();
+  const auto rm = middle.result();
+  const auto rl = last.result();
+  ASSERT_TRUE(rf);
+  ASSERT_TRUE(rm);
+  ASSERT_TRUE(rl);
+  EXPECT_TRUE(*rf == *rm);
+  EXPECT_TRUE(*rm == *rl);
+  EXPECT_EQ(first.total_samples(), last.total_samples());
+
+  double wsum = static_cast<double>(logical_weight);
+  for (const auto w : weights) wsum += static_cast<double>(w);
+  for (std::size_t j = 0; j < dim; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      s += static_cast<double>(weights[i]) *
+           static_cast<double>((*tensors[i])[j]);
+    }
+    const double want = s / wsum;
+    EXPECT_NEAR((*rf)[j], want, 1e-5 * (1.0 + std::abs(want))) << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FedAvgSumFormProperty,
+                         ::testing::Range(1, 21));
 
 }  // namespace
 }  // namespace lifl::fl

@@ -255,7 +255,7 @@ TEST(LocalTrain, ImprovesLocalLoss) {
   const LocalUpdate upd = local_train(global, global.params(), shard, tc, rng);
 
   Mlp after(global.dims());
-  after.set_params(upd.params);
+  after.set_params(*upd.params);
   EXPECT_LT(after.loss(shard), global.loss(shard));
   EXPECT_EQ(upd.sample_count, shard.size());
 }

@@ -164,8 +164,7 @@ TEST_P(ServerOptimizerTraining, ConvergesOnFederatedTask) {
     for (const auto& shard : shards) {
       const auto upd =
           ml::local_train(global, global.params(), shard, tcfg, client_rng);
-      acc.add(std::make_shared<const ml::Tensor>(upd.params),
-              upd.sample_count);
+      acc.add(upd.params, upd.sample_count);
     }
     ml::Tensor params = global.params();
     server.step(params, *acc.result());

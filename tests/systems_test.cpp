@@ -11,6 +11,7 @@
 
 #include "src/fl/fedavg.hpp"
 #include "src/ml/conv.hpp"
+#include "src/ml/tensor_pool.hpp"
 #include "src/systems/aggregation_service.hpp"
 #include "src/systems/system_config.hpp"
 #include "src/systems/training_experiment.hpp"
@@ -197,11 +198,64 @@ TEST(AggregationServiceIntegration, RealPayloadConvParamsAggregateExactly) {
 
   ASSERT_TRUE(global.tensor);
   std::vector<std::pair<const ml::Tensor*, std::uint64_t>> ref;
-  for (std::uint32_t i = 0; i < n; ++i) ref.emplace_back(params[i].get(), weights[i]);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ref.emplace_back(params[i].get(), weights[i]);
+  }
   const ml::Tensor expected = fl::FedAvgAccumulator::batch_average(ref);
   ASSERT_EQ(global.tensor->size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); i += 7) {
     EXPECT_NEAR((*global.tensor)[i], expected[i], 1e-4f);
+  }
+}
+
+TEST(AggregationServiceIntegration, SteadyStateRealPayloadRoundsAreZeroAlloc) {
+  // The kernels-refactor acceptance property at the SERVICE level: after
+  // round 1 has populated the tensor pool, every later round's fold path
+  // (leaf/middle/top accumulator sums, finalized aggregates) is served
+  // entirely from recycled buffers — BatchResult::tensor_allocs == 0.
+  SystemConfig cfg = make_lifl();
+  cfg.plane = dp::lifl_plane(/*real_payloads=*/true);
+  BatchWorld w(cfg);
+
+  constexpr std::uint32_t kUpdates = 9;
+  constexpr std::size_t kDim = 2048;
+  sim::Rng rng(23);
+  auto& pool = ml::TensorPool::global();
+
+  for (std::uint32_t round = 1; round <= 4; ++round) {
+    const auto assignment = w.service.place_updates(kUpdates);
+    std::vector<std::uint32_t> counts(w.cluster.size(), 0);
+    for (auto node : assignment) counts[node]++;
+    // Client updates drawn from the pool (as local_train produces them).
+    for (std::uint32_t i = 0; i < kUpdates; ++i) {
+      auto params = pool.acquire(kDim);
+      for (std::size_t j = 0; j < kDim; ++j) {
+        (*params)[j] = static_cast<float>(rng.normal(0.0, 1.0));
+      }
+      fl::ModelUpdate u;
+      u.model_version = round;
+      u.producer = 100 + i;
+      u.sample_count = 60 + i;
+      u.logical_bytes = params->bytes();
+      u.tensor = std::move(params);
+      w.plane.seed_update(assignment[i], std::move(u));
+    }
+    AggregationService::BatchResult result;
+    bool done = false;
+    w.service.arm(counts, round, kDim * sizeof(float),
+                  [&](const AggregationService::BatchResult& b) {
+                    result = b;
+                    done = true;
+                  });
+    w.sim.run();
+    ASSERT_TRUE(done) << "round " << round;
+    ASSERT_TRUE(result.global_update.tensor);
+    w.service.finish_batch();
+    if (round >= 2) {
+      EXPECT_EQ(result.tensor_allocs, 0u)
+          << "round " << round << " fold path heap-allocated a tensor";
+      EXPECT_GT(result.tensor_pool_hits, 0u) << "round " << round;
+    }
   }
 }
 
