@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "src/dataplane/dataplane.hpp"
 #include "src/fl/model_spec.hpp"
 #include "src/sim/random.hpp"
@@ -69,6 +70,14 @@ IngestOutcome run_burst(std::uint32_t gateway_cores,
 }  // namespace
 
 int main() {
+  const lifl::bench::BenchMeta meta;
+  struct Row {
+    const char* sweep;
+    std::uint32_t cores;
+    std::uint32_t queues;
+    IngestOutcome out;
+  };
+  std::vector<Row> rows;
   const std::uint32_t uploads = 16;
   const std::size_t bytes = fl::models::resnet152().bytes();
   std::printf(
@@ -81,6 +90,7 @@ int main() {
   for (const std::uint32_t cores : {1u, 2u, 4u, 8u}) {
     // Single queue, `cores` servers: the pre-RSS vertically scaled gateway.
     const auto out = run_burst(cores, 1, uploads, uploads, bytes);
+    rows.push_back({"vertical", cores, 1, out});
     t.row({std::to_string(cores), sys::fmt(out.last_enqueued_secs, 2),
            sys::fmt(out.gateway_wait_secs, 2)});
   }
@@ -98,6 +108,7 @@ int main() {
                  "total gateway queueing (s)"});
   for (const std::uint32_t queues : {1u, 2u, 4u, 8u}) {
     const auto out = run_burst(8, queues, burst, burst, bytes);
+    rows.push_back({"rss", 8, queues, out});
     tq.row({std::to_string(queues), sys::fmt(out.last_enqueued_secs, 2),
             sys::fmt(out.gateway_wait_secs, 2)});
   }
@@ -113,6 +124,7 @@ int main() {
                  "total gateway queueing (s)"});
   for (const std::uint32_t queues : {1u, 2u, 4u, 8u}) {
     const auto out = run_burst(8, queues, burst, 4, bytes);
+    rows.push_back({"skewed", 8, queues, out});
     ts.row({std::to_string(queues), sys::fmt(out.last_enqueued_secs, 2),
             sys::fmt(out.gateway_wait_secs, 2)});
   }
@@ -120,5 +132,26 @@ int main() {
       "Per-flow ordering caps a hot flow at one queue: 4 elephants use at "
       "most 4 of the 8 cores however many queues exist — the single-queue "
       "pool hides this, real RSS does not");
+
+  FILE* out = std::fopen("BENCH_abl_gateway_scaling.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
+    std::fprintf(out,
+                 "  \"bench\": \"abl_gateway_scaling\",\n"
+                 "  \"samples\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(out,
+                   "    {\"sweep\": \"%s\", \"cores\": %u, \"queues\": %u, "
+                   "\"ingested_by_secs\": %.4f, \"wait_secs\": %.4f}%s\n",
+                   r.sweep, r.cores, r.queues, r.out.last_enqueued_secs,
+                   r.out.gateway_wait_secs,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_abl_gateway_scaling.json\n");
+  }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "src/control/ewma.hpp"
 #include "src/control/hierarchy.hpp"
 #include "src/fl/model_spec.hpp"
@@ -82,11 +83,15 @@ std::pair<std::uint32_t, std::uint32_t> plan_with_alpha(double alpha) {
 }  // namespace
 
 int main() {
+  const lifl::bench::BenchMeta meta;
   std::printf("Ablation — hierarchy-planning parameters (§5.2)\n");
 
+  const std::vector<std::uint32_t> fanins{1, 2, 4, 8, 16};
+  std::vector<std::pair<double, std::uint32_t>> fanin_rows;
   sys::Table fanin({"I (updates/leaf)", "ACT(s)", "instances used"});
-  for (const std::uint32_t i : {1u, 2u, 4u, 8u, 16u}) {
+  for (const std::uint32_t i : fanins) {
     const auto [act, instances] = run_with_fanin(i);
+    fanin_rows.emplace_back(act, instances);
     fanin.row({std::to_string(i), sys::fmt(act, 1),
                std::to_string(instances)});
   }
@@ -94,13 +99,43 @@ int main() {
       "Leaf fan-in sweep, 60 ResNet-152 updates on 5 nodes "
       "(paper default I=2: near-minimal ACT at half the instances of I=1)");
 
+  const std::vector<double> alphas{0.0, 0.3, 0.5, 0.7, 0.9};
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> alpha_rows;
   sys::Table alpha({"alpha", "peak leaves planned", "plan churn (leaves)"});
-  for (const double a : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+  for (const double a : alphas) {
     const auto [peak, churn] = plan_with_alpha(a);
+    alpha_rows.emplace_back(peak, churn);
     alpha.row({sys::fmt(a, 1), std::to_string(peak), std::to_string(churn)});
   }
   alpha.print(
       "EWMA coefficient sweep on a bursty queue series "
       "(paper alpha=0.7: spikes damped, churn low, capacity tracks load)");
+
+  FILE* out = std::fopen("BENCH_abl_hierarchy_params.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
+    std::fprintf(out,
+                 "  \"bench\": \"abl_hierarchy_params\",\n"
+                 "  \"fanin_sweep\": [\n");
+    for (std::size_t i = 0; i < fanins.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"updates_per_leaf\": %u, \"act_secs\": %.4f, "
+                   "\"instances\": %u}%s\n",
+                   fanins[i], fanin_rows[i].first, fanin_rows[i].second,
+                   i + 1 < fanins.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"alpha_sweep\": [\n");
+    for (std::size_t i = 0; i < alphas.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"alpha\": %.1f, \"peak_leaves\": %u, "
+                   "\"plan_churn\": %u}%s\n",
+                   alphas[i], alpha_rows[i].first, alpha_rows[i].second,
+                   i + 1 < alphas.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_abl_hierarchy_params.json\n");
+  }
   return 0;
 }

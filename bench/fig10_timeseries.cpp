@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "src/systems/system_config.hpp"
 #include "src/systems/table.hpp"
 #include "src/systems/training_experiment.hpp"
@@ -53,15 +54,39 @@ std::size_t active_at(
   return last;
 }
 
-void run_workload(const std::string& label, bool resnet18) {
+/// Per-system summary row of one workload, for the BENCH JSON.
+struct SystemSummary {
+  std::string workload;
+  std::string system;
+  std::size_t rounds = 0;
+  double wall_secs = 0.0;
+  double cpu_hours = 0.0;
+  std::size_t peak_active_aggs = 0;
+};
+
+std::vector<SystemSummary> run_workload(const std::string& label,
+                                        bool resnet18) {
   const auto cfg = setup_for(resnet18);
   const std::vector<sys::SystemConfig> systems = {
       sys::make_serverful(), sys::make_serverless(), sys::make_lifl()};
 
   std::vector<sys::TrainingResult> results;
+  std::vector<SystemSummary> summaries;
   for (const auto& system : systems) {
     sys::TrainingExperiment exp(system, cfg);
     results.push_back(exp.run());
+    const auto& r = results.back();
+    SystemSummary s;
+    s.workload = label;
+    s.system = r.system;
+    s.rounds = r.rounds.size();
+    s.wall_secs = r.wall_secs;
+    s.cpu_hours = r.cpu_hours_total;
+    for (const auto& [when, count] : r.active_aggs) {
+      (void)when;
+      s.peak_active_aggs = std::max(s.peak_active_aggs, count);
+    }
+    summaries.push_back(s);
   }
 
   // (a)/(d) Arrival rate per minute — workload property, shown once (LIFL's
@@ -111,14 +136,39 @@ void run_workload(const std::string& label, bool resnet18) {
     t.print("Fig. 10 — " + label +
             " cumulative CPU time (s) per round (SL highest)");
   }
+  return summaries;
 }
 
 }  // namespace
 
 int main() {
+  const lifl::bench::BenchMeta meta;
   std::printf(
       "Fig. 10 — time series: arrival rate, active aggregators, CPU/round\n");
-  run_workload("ResNet-18", true);
-  run_workload("ResNet-152", false);
+  std::vector<SystemSummary> all = run_workload("ResNet-18", true);
+  const auto heavy = run_workload("ResNet-152", false);
+  all.insert(all.end(), heavy.begin(), heavy.end());
+
+  FILE* out = std::fopen("BENCH_fig10_timeseries.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
+    std::fprintf(out,
+                 "  \"bench\": \"fig10_timeseries\",\n"
+                 "  \"systems\": [\n");
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const SystemSummary& s = all[i];
+      std::fprintf(out,
+                   "    {\"workload\": \"%s\", \"system\": \"%s\", "
+                   "\"rounds\": %zu, \"sim_wall_secs\": %.1f, "
+                   "\"cpu_hours\": %.3f, \"peak_active_aggs\": %zu}%s\n",
+                   s.workload.c_str(), s.system.c_str(), s.rounds,
+                   s.wall_secs, s.cpu_hours, s.peak_active_aggs,
+                   i + 1 < all.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_fig10_timeseries.json\n");
+  }
   return 0;
 }

@@ -8,7 +8,9 @@
 // delay (client-side excluded). Also quantifies the stateful "tax" (F.1).
 
 #include <cstdio>
+#include <vector>
 
+#include "bench/bench_util.hpp"
 #include "src/dataplane/dataplane.hpp"
 #include "src/dataplane/probe.hpp"
 #include "src/fl/model_spec.hpp"
@@ -75,6 +77,13 @@ QueueCost measure(const std::string& which, std::size_t bytes) {
 }  // namespace
 
 int main() {
+  const lifl::bench::BenchMeta meta;
+  struct JsonRow {
+    std::string model;
+    std::string design;
+    QueueCost cost;
+  };
+  std::vector<JsonRow> json_rows;
   const std::vector<std::pair<std::string, fl::ModelSpec>> models = {
       {"M1 (ResNet-18)", fl::models::resnet18()},
       {"M2 (ResNet-34)", fl::models::resnet34()},
@@ -93,7 +102,10 @@ int main() {
 
   for (const auto& [name, spec] : models) {
     std::vector<QueueCost> costs;
-    for (const auto& d : designs) costs.push_back(measure(d, spec.bytes()));
+    for (const auto& d : designs) {
+      costs.push_back(measure(d, spec.bytes()));
+      json_rows.push_back({name, d, costs.back()});
+    }
     const double mono_mem = costs[0].mem_bytes;
     cpu.row({name, sys::fmt(costs[0].gcycles), sys::fmt(costs[1].gcycles),
              sys::fmt(costs[2].gcycles), sys::fmt(costs[3].gcycles)});
@@ -125,5 +137,27 @@ int main() {
                     2)});
   tax.row({"LIFL", "per-node gateway", sys::fmt(0.04, 2)});
   tax.print("F.1 — the stateful \"tax\" (paper: LIFL's is the lowest)");
+
+  FILE* out = std::fopen("BENCH_fig13_queueing.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
+    std::fprintf(out,
+                 "  \"bench\": \"fig13_queueing\",\n"
+                 "  \"samples\": [\n");
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      std::fprintf(out,
+                   "    {\"model\": \"%s\", \"design\": \"%s\", "
+                   "\"delay_secs\": %.4f, \"gcycles\": %.4f, "
+                   "\"mem_bytes\": %.0f, \"idle_cores\": %.2f}%s\n",
+                   r.model.c_str(), r.design.c_str(), r.cost.delay,
+                   r.cost.gcycles, r.cost.mem_bytes, r.cost.idle_cores,
+                   i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_fig13_queueing.json\n");
+  }
   return 0;
 }

@@ -1,0 +1,185 @@
+// Hierarchy-replan microbench: round-completion time of the streaming
+// hierarchy orchestrator (planned mode: EWMA-sized trees, mid-round
+// re-planning, warm cross-round reuse) vs the fixed two-level
+// destroy-and-respawn baseline, under a bursty arrival ramp dense enough
+// that aggregation — not the arrival tail — bounds the round.
+//
+// The fixed baseline pays the LIFL function cold start for its whole tree
+// every round; the orchestrator pays it once, in round 1, and re-arms the
+// warm fleet thereafter (zero steady-state spawns). Both runs execute the
+// identical arrival streams, so per-round simulated durations compare
+// exactly (the simulator is deterministic).
+//
+// Emits BENCH_hierarchy_replan.json. CI runs it in Release and fails the
+// job if the planned steady-state mean round time exceeds the fixed one at
+// 4 groups (LIFL_REPLAN_BENCH_GATE=0 disables the gate).
+//
+// Build & run:  cmake -B build && cmake --build build -j
+//               ./build/bench/micro_hierarchy_replan
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/systems/sharded_campaign.hpp"
+#include "src/systems/table.hpp"
+
+using namespace lifl;
+
+namespace {
+
+sys::ShardedCampaignConfig bench_campaign(sys::HierarchyMode mode,
+                                          std::size_t groups) {
+  sys::ShardedCampaignConfig cfg;
+  cfg.shards = 1;  // sim time is shard-count invariant; keep wall cost low
+  cfg.groups = groups;
+  cfg.rounds = 4;
+  cfg.leaves_per_group = 24;
+  cfg.updates_per_leaf = 100;
+  cfg.model_bytes = 100'000;
+  cfg.population = 200'000;
+  // Bursty ramp: the whole wave lands faster than a cold start completes,
+  // so round time is bounded by aggregation capacity and instance
+  // readiness — the regime the planner exists for. The fixed baseline's
+  // freshly spawned tree sits in its cold start while the burst queues;
+  // the orchestrator's warm fleet folds it as it arrives.
+  cfg.peak_per_sec = 200'000.0;
+  cfg.ramp_secs = 0.2;
+  cfg.diurnal_amplitude = 0.0;
+  cfg.seed = 20'26;
+  cfg.gateway_cores = 4;
+  cfg.gateway_queues = 0;
+  cfg.hierarchy = mode;
+  cfg.replan_interval_secs = 0.25;
+  cfg.middle_fanin = 8;
+  return cfg;
+}
+
+struct ModeResult {
+  std::vector<double> round_secs;
+  std::uint64_t spawned = 0;
+  std::uint64_t reused = 0;
+  std::uint64_t replans = 0;
+  std::uint64_t drains = 0;
+  double wall_secs = 0.0;
+
+  /// Mean over steady-state rounds (round 1 builds the fleet in both
+  /// modes; the orchestrator's advantage is everything after it).
+  double steady_mean() const {
+    double total = 0.0;
+    for (std::size_t i = 1; i < round_secs.size(); ++i) {
+      total += round_secs[i];
+    }
+    return round_secs.size() > 1 ? total / (round_secs.size() - 1) : 0.0;
+  }
+};
+
+ModeResult run_mode(sys::HierarchyMode mode, std::size_t groups) {
+  const auto r = sys::run_sharded_campaign(bench_campaign(mode, groups));
+  ModeResult out;
+  for (std::size_t i = 0; i < r.round_completed_at.size(); ++i) {
+    out.round_secs.push_back(r.round_completed_at[i] - r.round_started_at[i]);
+  }
+  out.spawned = r.spawned_total;
+  out.reused = r.reused_total;
+  out.replans = r.replans;
+  out.drains = r.leaf_drains;
+  out.wall_secs = r.wall_secs;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t groups = 4;  // the gate's configuration
+  if (argc > 1) {
+    char* end = nullptr;
+    groups = std::strtoul(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || groups == 0) {
+      std::fprintf(stderr, "usage: %s [groups > 0]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const lifl::bench::BenchMeta meta;
+  std::printf(
+      "hierarchy-replan microbench: %zu groups, bursty ramp, fixed "
+      "(respawn-per-round) vs planned (streaming orchestrator)\n\n",
+      groups);
+
+  const ModeResult fixed = run_mode(sys::HierarchyMode::kFixed, groups);
+  const ModeResult planned = run_mode(sys::HierarchyMode::kPlanned, groups);
+
+  sys::Table t({"round", "fixed(sim s)", "planned(sim s)", "delta"});
+  for (std::size_t i = 0; i < fixed.round_secs.size(); ++i) {
+    t.row({std::to_string(i + 1), sys::fmt(fixed.round_secs[i], 3),
+           sys::fmt(planned.round_secs[i], 3),
+           sys::fmt(fixed.round_secs[i] - planned.round_secs[i], 3)});
+  }
+  t.print("Round-completion time under the bursty ramp");
+  std::printf(
+      "steady-state mean: fixed %.3f s, planned %.3f s "
+      "(planned: %llu spawned / %llu reused, %llu re-plans, %llu drains)\n",
+      fixed.steady_mean(), planned.steady_mean(),
+      static_cast<unsigned long long>(planned.spawned),
+      static_cast<unsigned long long>(planned.reused),
+      static_cast<unsigned long long>(planned.replans),
+      static_cast<unsigned long long>(planned.drains));
+
+  FILE* out = std::fopen("BENCH_hierarchy_replan.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
+    std::fprintf(out,
+                 "  \"bench\": \"hierarchy_replan\",\n"
+                 "  \"groups\": %zu,\n"
+                 "  \"fixed_steady_mean_secs\": %.6f,\n"
+                 "  \"planned_steady_mean_secs\": %.6f,\n"
+                 "  \"planned_spawned\": %llu,\n"
+                 "  \"planned_reused\": %llu,\n"
+                 "  \"planned_replans\": %llu,\n"
+                 "  \"planned_drains\": %llu,\n"
+                 "  \"fixed_spawned\": %llu,\n"
+                 "  \"rounds\": [\n",
+                 groups, fixed.steady_mean(), planned.steady_mean(),
+                 static_cast<unsigned long long>(planned.spawned),
+                 static_cast<unsigned long long>(planned.reused),
+                 static_cast<unsigned long long>(planned.replans),
+                 static_cast<unsigned long long>(planned.drains),
+                 static_cast<unsigned long long>(fixed.spawned));
+    for (std::size_t i = 0; i < fixed.round_secs.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"round\": %zu, \"fixed_secs\": %.6f, "
+                   "\"planned_secs\": %.6f}%s\n",
+                   i + 1, fixed.round_secs[i], planned.round_secs[i],
+                   i + 1 < fixed.round_secs.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_hierarchy_replan.json\n");
+  }
+
+  // ---- gate: at 4+ groups, the orchestrator must not lose to the fixed
+  // baseline on steady-state round-completion time. The comparison is
+  // between two deterministic simulations, so no noise margin is needed.
+  bool gate = groups >= 4;
+  if (const char* env = std::getenv("LIFL_REPLAN_BENCH_GATE")) {
+    gate = std::strcmp(env, "0") != 0;
+  }
+  if (!gate) {
+    std::printf("gate SKIPPED (groups < 4 or LIFL_REPLAN_BENCH_GATE=0)\n");
+    return 0;
+  }
+  if (planned.steady_mean() > fixed.steady_mean()) {
+    std::fprintf(stderr,
+                 "FAIL: planned steady-state mean %.3f s exceeds fixed "
+                 "%.3f s — the orchestrator must beat per-round churn\n",
+                 planned.steady_mean(), fixed.steady_mean());
+    return 1;
+  }
+  std::printf("gate OK: planned %.3f s <= fixed %.3f s steady-state\n",
+              planned.steady_mean(), fixed.steady_mean());
+  return 0;
+}

@@ -23,10 +23,19 @@
 // the results are identical for every K (the group wiring, not the thread
 // count, defines the model) — see src/systems/sharded_campaign.
 //
+// With `--hierarchy=planned` the sharded campaign runs the streaming
+// hierarchy orchestrator (src/systems/streaming_hierarchy): planner-driven
+// multi-level trees sized from EWMA'd pending estimates, mid-round
+// re-planning (`--replan-interval=SECS`), and warm cross-round instance
+// reuse (`--reuse=0` disables it for the churn A/B) — steady-state rounds
+// spawn zero new aggregator runtimes. `--hierarchy=fixed` keeps the
+// two-level destroy-and-respawn baseline.
+//
 // Build & run:  cmake -B build && cmake --build build -j
 //               ./build/examples/mega_campaign            # full 1M clients
 //               ./build/examples/mega_campaign 100000     # quicker slice
 //               ./build/examples/mega_campaign --shards=4 # threaded core
+//               ./build/examples/mega_campaign --shards=4 --hierarchy=planned
 
 #include <chrono>
 #include <cstdio>
@@ -191,7 +200,8 @@ std::vector<RoundStats> run_campaign(const CampaignConfig& cfg,
 }
 
 /// Run the campaign on the sharded core and print the per-round table.
-int run_sharded(const CampaignConfig& cfg, std::size_t shards) {
+int run_sharded(const CampaignConfig& cfg, std::size_t shards,
+                sys::HierarchyMode mode, double replan_interval, bool reuse) {
   sys::ShardedCampaignConfig scfg;
   scfg.shards = shards;
   scfg.groups = cfg.nodes;
@@ -205,21 +215,30 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards) {
   scfg.diurnal_amplitude = cfg.arrivals.diurnal_amplitude;
   scfg.diurnal_period_secs = cfg.arrivals.diurnal_period_secs;
   scfg.gateway_queues = 0;  // one RSS queue per gateway core
+  scfg.hierarchy = mode;
+  scfg.replan_interval_secs = replan_interval;
+  scfg.reuse = reuse;
 
+  const bool planned = mode == sys::HierarchyMode::kPlanned;
   std::printf(
       "Sharded mega campaign: %zu mobile clients, %zu node groups on %zu "
-      "shard threads, %zu rounds x %zu uploads\n\n",
+      "shard threads, %zu rounds x %zu uploads, %s hierarchy%s\n\n",
       scfg.population, scfg.groups, shards, scfg.rounds,
-      scfg.uploads_per_round());
+      scfg.uploads_per_round(), planned ? "planned (streaming)" : "fixed",
+      planned && !reuse ? " (reuse off)" : "");
 
   const auto r = sys::run_sharded_campaign(scfg);
-  sys::Table t({"round", "completed(sim s)", "samples"});
+  sys::Table t({"round", "duration(sim s)", "samples", "spawned", "reused"});
   for (std::size_t i = 0; i < r.round_completed_at.size(); ++i) {
-    t.row({std::to_string(i + 1), sys::fmt(r.round_completed_at[i], 2),
-           std::to_string(r.round_samples[i])});
+    t.row({std::to_string(i + 1),
+           sys::fmt(r.round_completed_at[i] - r.round_started_at[i], 2),
+           std::to_string(r.round_samples[i]),
+           std::to_string(r.round_spawned[i]),
+           std::to_string(r.round_reused[i])});
   }
-  t.print("LIFL hierarchy on the sharded core (identical results for any "
-          "shard count)");
+  t.print(planned ? "Streaming hierarchy orchestrator (plan -> arm -> "
+                    "stream -> re-plan; zero steady-state spawns)"
+                  : "Fixed two-level hierarchy (per-round churn baseline)");
   std::printf(
       "%llu events in %.2f s wall (%.2fM events/s aggregate), "
       "%llu windows, %llu cross-shard posts\n",
@@ -227,6 +246,15 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards) {
       r.events / r.wall_secs / 1e6,
       static_cast<unsigned long long>(r.windows),
       static_cast<unsigned long long>(r.cross_posts));
+  if (planned) {
+    std::printf(
+        "orchestrator: %llu spawned / %llu reused runtimes, %llu re-plans, "
+        "%llu partial drains, peak %u leaves/group\n",
+        static_cast<unsigned long long>(r.spawned_total),
+        static_cast<unsigned long long>(r.reused_total),
+        static_cast<unsigned long long>(r.replans),
+        static_cast<unsigned long long>(r.leaf_drains), r.peak_leaves);
+  }
   const long rss = peak_rss_kb();
   if (rss > 0) std::printf("peak RSS: %.1f MB\n", rss / 1024.0);
   return 0;
@@ -237,23 +265,58 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards) {
 int main(int argc, char** argv) {
   CampaignConfig cfg;
   std::size_t shards = 0;  // 0 = classic unsharded path
+  bool hierarchy_flag = false;
+  sys::HierarchyMode mode = sys::HierarchyMode::kFixed;
+  double replan_interval = 5.0;
+  bool reuse = true;
+  const auto usage = [&argv] {
+    std::fprintf(stderr,
+                 "usage: %s [population >= 1000] [--shards=K] "
+                 "[--hierarchy=fixed|planned] [--replan-interval=SECS] "
+                 "[--reuse=0|1]\n",
+                 argv[0]);
+    return 2;
+  };
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--shards=", 9) == 0) {
       char* end = nullptr;
       shards = std::strtoul(argv[a] + 9, &end, 10);
-      if (end == argv[a] + 9 || *end != '\0' || shards == 0) {
-        std::fprintf(stderr, "usage: %s [population >= 1000] [--shards=K]\n",
-                     argv[0]);
-        return 2;
+      if (end == argv[a] + 9 || *end != '\0' || shards == 0) return usage();
+      continue;
+    }
+    if (std::strncmp(argv[a], "--hierarchy=", 12) == 0) {
+      hierarchy_flag = true;
+      if (std::strcmp(argv[a] + 12, "planned") == 0) {
+        mode = sys::HierarchyMode::kPlanned;
+      } else if (std::strcmp(argv[a] + 12, "fixed") == 0) {
+        mode = sys::HierarchyMode::kFixed;
+      } else {
+        return usage();
+      }
+      continue;
+    }
+    if (std::strncmp(argv[a], "--replan-interval=", 18) == 0) {
+      char* end = nullptr;
+      replan_interval = std::strtod(argv[a] + 18, &end);
+      if (end == argv[a] + 18 || *end != '\0' || replan_interval < 0.0) {
+        return usage();
+      }
+      continue;
+    }
+    if (std::strncmp(argv[a], "--reuse=", 8) == 0) {
+      if (std::strcmp(argv[a] + 8, "0") == 0) {
+        reuse = false;
+      } else if (std::strcmp(argv[a] + 8, "1") == 0) {
+        reuse = true;
+      } else {
+        return usage();
       }
       continue;
     }
     char* end = nullptr;
     cfg.population = std::strtoul(argv[a], &end, 10);
     if (end == argv[a] || *end != '\0' || cfg.population < 1000) {
-      std::fprintf(stderr, "usage: %s [population >= 1000] [--shards=K]\n",
-                   argv[0]);
-      return 2;
+      return usage();
     }
     // Keep the hierarchy shape; scale the per-round fan-in to the slice.
     while (cfg.uploads_per_round() * cfg.rounds > cfg.population &&
@@ -261,7 +324,11 @@ int main(int argc, char** argv) {
       cfg.leaves_per_node /= 2;
     }
   }
-  if (shards > 0) return run_sharded(cfg, shards);
+  // The orchestrator runs on the sharded campaign driver; --hierarchy
+  // without --shards means the 1-shard (plain core) execution of it.
+  if (hierarchy_flag && shards == 0) shards = 1;
+  if (shards > 0) return run_sharded(cfg, shards, mode, replan_interval,
+                                     reuse);
 
   std::printf(
       "Mega campaign: %zu mobile clients, %zu nodes, %zu rounds x %zu "

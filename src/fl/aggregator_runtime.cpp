@@ -24,9 +24,33 @@ AggregatorRuntime::AggregatorRuntime(dp::DataPlane& plane, Config cfg)
       sim_(plane.cluster().sim()),
       cfg_(std::move(cfg)),
       ctx_(std::make_shared<Ctx>(Ctx{this, &plane, cfg_.node})) {
-  if (cfg_.goal == 0) {
+  validate_config();
+}
+
+void AggregatorRuntime::validate_config() const {
+  if (cfg_.goal == 0 && !cfg_.goal_open) {
     throw std::invalid_argument("AggregatorRuntime: goal must be >= 1");
   }
+  if (cfg_.pull_from_pool && cfg_.goal_kind != GoalKind::kMessages) {
+    // Pool pulls are accounted per message; a folded-count goal cannot size
+    // the number of pop_async waiters to park.
+    throw std::invalid_argument(
+        "AggregatorRuntime: pull_from_pool requires a message-count goal");
+  }
+  if (cfg_.timing == AggTiming::kLazy &&
+      cfg_.goal_kind != GoalKind::kMessages) {
+    // Lazy batching holds the FIFO until `goal` *messages* arrived; a
+    // folded-count goal has no well-defined batch boundary.
+    throw std::invalid_argument(
+        "AggregatorRuntime: lazy timing requires a message-count goal");
+  }
+}
+
+bool AggregatorRuntime::goal_reached() const noexcept {
+  if (cfg_.goal_open || cfg_.goal == 0) return false;
+  return cfg_.goal_kind == GoalKind::kMessages
+             ? aggregated_ >= cfg_.goal
+             : acc_.updates_folded() >= cfg_.goal;
 }
 
 void AggregatorRuntime::PoolWaiter::operator()(ModelUpdate u) const {
@@ -128,9 +152,40 @@ void AggregatorRuntime::stop() {
   }
 }
 
-void AggregatorRuntime::convert_role(Config cfg) {
+void AggregatorRuntime::set_goal(std::uint32_t goal, bool open) {
+  cfg_.goal = goal;
+  cfg_.goal_open = open;
+  if (!started_ || sent_) return;
+  // A grown goal may need more pool pulls (the while loop no-ops when the
+  // goal shrank below what was already pulled); a shrunken goal may already
+  // be met by the folded state, or be reachable from the FIFO alone.
+  maybe_pull();
+  pump();
+  maybe_complete();
+}
+
+std::uint32_t AggregatorRuntime::drain() {
+  if (!started_ || sent_) return 0;
+  std::uint32_t have = 0;
+  if (cfg_.goal_kind == GoalKind::kMessages) {
+    have = received_;  // folded + mid-step + buffered
+  } else {
+    have = acc_.updates_folded();
+    if (in_flight_.has_value()) have += in_flight_->updates_folded;
+    for (const auto& u : fifo_) have += u.updates_folded;
+  }
+  if (have == 0) return 0;
+  set_goal(have, /*open=*/false);
+  return have;
+}
+
+void AggregatorRuntime::maybe_complete() {
+  if (ready_ && !processing_ && !sent_ && goal_reached()) do_send();
+}
+
+void AggregatorRuntime::rearm(Config cfg) {
   if (processing_) {
-    throw std::logic_error("convert_role: runtime is mid-step");
+    throw std::logic_error("rearm: runtime is mid-step");
   }
   if (started_) {
     plane_.unregister_consumer(cfg_.id);
@@ -144,7 +199,8 @@ void AggregatorRuntime::convert_role(Config cfg) {
   }
   acc_.reset();
   cfg_ = std::move(cfg);
-  // A converted instance is warm by definition.
+  validate_config();
+  // A re-armed instance is warm by definition.
   cfg_.cold_trigger = ColdStartTrigger::kNone;
   cfg_.cold_start_secs = 0.0;
   cfg_.cold_start_cycles = 0.0;
@@ -257,7 +313,7 @@ void AggregatorRuntime::on_agg_done() {
   // Dropping the update releases its shm lease (buffer recycled).
   in_flight_.reset();
   processing_ = false;
-  if (aggregated_ >= cfg_.goal) {
+  if (goal_reached()) {
     do_send();
   } else {
     pump();
@@ -272,7 +328,12 @@ void AggregatorRuntime::do_send() {
   if (cfg_.consumer != 0) {
     plane_.send(cfg_.id, cfg_.node, cfg_.consumer, std::move(result));
   } else if (cfg_.on_result) {
-    cfg_.on_result(std::move(result));
+    // Invoke through a copy: the callback may `rearm` this instance (the
+    // streaming hierarchy's self-re-arm after a batch), which replaces
+    // `cfg_` — including the std::function we would otherwise be executing
+    // as it is destroyed.
+    ResultFn fn = cfg_.on_result;
+    fn(std::move(result));
   }
 }
 

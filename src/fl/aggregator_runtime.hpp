@@ -23,6 +23,19 @@ enum class AggTiming : std::uint8_t {
   kLazy,   ///< queue updates; aggregate the whole batch once the goal is met
 };
 
+/// What the aggregation goal counts.
+enum class GoalKind : std::uint8_t {
+  kMessages,       ///< direct updates received by this instance (the classic
+                   ///< leaf batch: fold `goal` messages, then Send)
+  kFoldedUpdates,  ///< *client* updates the aggregate represents (sum of
+                   ///< `ModelUpdate::updates_folded` over the inputs). This
+                   ///< makes an upper-level aggregator's completion invariant
+                   ///< under the shape of the tree below it — the property
+                   ///< the streaming hierarchy's mid-round re-planning rests
+                   ///< on: however the leaf set grows or shrinks, the relay
+                   ///< finishes exactly when every client update arrived.
+};
+
 std::string to_string(AggRole role);
 
 /// When the cold-start clock of a new instance begins.
@@ -57,7 +70,13 @@ class AggregatorRuntime {
     sim::NodeId node = 0;
     AggRole role = AggRole::kLeaf;
     AggTiming timing = AggTiming::kEager;
-    std::uint32_t goal = 1;        ///< direct updates to fold before Send
+    std::uint32_t goal = 1;        ///< updates to fold before Send (see kind)
+    GoalKind goal_kind = GoalKind::kMessages;
+    /// An *open* goal may still grow (`set_goal`): the instance keeps
+    /// folding but never Sends until the goal is sealed (open = false).
+    /// Middles in the streaming hierarchy start open and are sealed once
+    /// the round's batches are fully assigned.
+    bool goal_open = false;
     ParticipantId consumer = 0;    ///< downstream aggregator (0: use on_result)
     std::size_t result_bytes = 0;  ///< wire size of the produced update
     bool pull_from_pool = false;   ///< leaf: pull updates off the node pool
@@ -84,9 +103,32 @@ class AggregatorRuntime {
   /// successor instance can aggregate them (stateless failover, §3).
   void stop();
 
-  /// Stateless role conversion (§5.3): re-arm this warm instance under a new
-  /// configuration with zero start-up cost. Requires the runtime to be idle.
-  void convert_role(Config cfg);
+  /// Re-arm this warm instance in place under a new configuration with zero
+  /// start-up cost — the §5.3 reuse mechanism, also the streaming
+  /// hierarchy's per-batch / cross-round leaf reuse path. Drops all
+  /// aggregation state (buffered updates return to the node pool), keeps
+  /// the warm sandbox, re-registers routes, starts immediately. Requires
+  /// the runtime not to be mid-step; calling it from inside `on_result` of
+  /// the finishing aggregation is supported (self-re-arm after Send).
+  void rearm(Config cfg);
+
+  /// Stateless role conversion (§5.3): alias of `rearm` under the paper's
+  /// name for cross-level promotion.
+  void convert_role(Config cfg) { rearm(std::move(cfg)); }
+
+  /// Adjust the goal of a live instance. Growing is always safe; shrinking
+  /// to (or below) the work already folded triggers the Send immediately.
+  /// `open = true` keeps the goal growable and suppresses the Send.
+  void set_goal(std::uint32_t goal, bool open = false);
+
+  /// Force this instance to finish with what it already has: seal the goal
+  /// at the updates accepted so far (buffered and mid-step included) so the
+  /// partial aggregate is sent to the consumer — the shrink path of the
+  /// streaming hierarchy, where a retiring leaf's accumulator drains into
+  /// its parent instead of being discarded. Returns the goal it was sealed
+  /// at (in this instance's goal units); 0 means nothing was ever accepted
+  /// (no Send will happen — the caller can park the instance directly).
+  std::uint32_t drain();
 
   /// Hand an update to this runtime directly, bypassing the data plane —
   /// used when a converted instance keeps its own previous output (the
@@ -105,6 +147,8 @@ class AggregatorRuntime {
 
   std::uint32_t received() const noexcept { return received_; }
   std::uint32_t aggregated() const noexcept { return aggregated_; }
+  /// Client updates folded into the running aggregate so far.
+  std::uint32_t folded() const noexcept { return acc_.updates_folded(); }
   std::uint32_t stale_dropped() const noexcept { return stale_dropped_; }
   sim::SimTime first_arrival_at() const noexcept { return first_arrival_at_; }
   sim::SimTime sent_at() const noexcept { return sent_at_; }
@@ -144,6 +188,9 @@ class AggregatorRuntime {
     void operator()() const;
   };
 
+  void validate_config() const;
+  bool goal_reached() const noexcept;
+  void maybe_complete();
   void deliver(ModelUpdate u);
   void begin_cold_start();
   void on_ready();

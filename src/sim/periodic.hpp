@@ -1,0 +1,42 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/sim/simulator.hpp"
+#include "src/sim/time.hpp"
+
+namespace lifl::sim {
+
+/// Self-rescheduling *plan-apply pulse*: runs `tick` at `first` and then
+/// every `interval` simulated seconds until `tick` returns false.
+///
+/// The streaming hierarchy drives its mid-round re-plan sampling with this:
+/// the pulse is a **regular** (non-daemon) event chain, so it is executed
+/// identically for every shard count — unlike window-barrier hooks, which
+/// do not exist in 1-shard mode — and it is the tick's own return value
+/// that ends the chain, so a model using it must make `tick` terminate
+/// (e.g. once the round's work is fully claimed) or the simulation never
+/// drains. No reference cycle: each scheduled event holds the only
+/// shared_ptr to the pulse state, so ending the chain frees it.
+inline void schedule_every(Simulator& sim, SimTime first, SimTime interval,
+                           std::function<bool()> tick) {
+  struct Pulse {
+    Simulator& sim;
+    SimTime at;
+    SimTime interval;
+    std::function<bool()> tick;
+
+    void fire(const std::shared_ptr<Pulse>& self) {
+      if (!tick()) return;
+      at += interval;
+      sim.schedule_at(at, [self] { self->fire(self); });
+    }
+  };
+  auto p = std::make_shared<Pulse>(Pulse{sim, first, interval,
+                                         std::move(tick)});
+  sim.schedule_at(first, [p] { p->fire(p); });
+}
+
+}  // namespace lifl::sim

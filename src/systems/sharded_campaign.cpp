@@ -6,12 +6,15 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "src/control/campaign_planner.hpp"
 #include "src/dataplane/config.hpp"
 #include "src/dataplane/dataplane.hpp"
 #include "src/sim/node.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/sharded_simulator.hpp"
+#include "src/systems/streaming_hierarchy.hpp"
 #include "src/workload/population.hpp"
 
 namespace lifl::sys {
@@ -20,7 +23,7 @@ namespace calib = sim::calib;
 
 namespace {
 
-/// Latency of a leaf-aggregate transfer between node groups: minimum
+/// Latency of a relay/leaf-aggregate transfer between node groups: minimum
 /// cross-group latency (propagation + switch + kernel wake-up) plus wire
 /// time plus the fixed kernel receive cost. Always >= the sharded
 /// simulator's lookahead, which is what makes the conservative windows
@@ -45,7 +48,8 @@ struct Group {
   wl::ClientPopulation population;
   std::unique_ptr<wl::ArrivalProcess> arrivals;
   sim::Rng rng{0};
-  std::vector<std::unique_ptr<fl::AggregatorRuntime>> aggs;
+  std::vector<std::unique_ptr<fl::AggregatorRuntime>> aggs;  ///< fixed mode
+  std::unique_ptr<StreamingHierarchy> hier;                  ///< planned mode
 
   // Open-loop arrival chain state for the current round (one pending
   // arrival event at a time, profiles derived lazily per index).
@@ -62,13 +66,15 @@ struct CampaignState {
   const ShardedCampaignConfig* cfg = nullptr;
   sim::ShardedSimulator* sharded = nullptr;
   std::vector<Group> groups;
+  std::unique_ptr<ctrl::CampaignPlanner> planner;  ///< planned mode
+  std::unique_ptr<fl::AggregatorRuntime> top_rt;   ///< planned: reused
   fl::AggregatorRuntime* top = nullptr;  ///< current round's top (group 0)
   bool round_done = false;
   double completed_at = -1.0;
   std::uint64_t round_samples = 0;
 };
 
-/// Injects one relayed leaf aggregate into the top aggregator. Runs on the
+/// Injects one relayed group aggregate into the top aggregator. Runs on the
 /// top's shard; the update was detached from its source group (no lease, no
 /// tensor) before crossing.
 struct TopInject {
@@ -77,11 +83,12 @@ struct TopInject {
   void operator()() { st->top->inject(std::move(u)); }
 };
 
-/// Leaf on_result hook: detach the aggregate from its group and post it to
-/// the top's shard with the cross-group latency. Identical for every group
-/// (including group 0, whose post degenerates to a local schedule), so the
-/// wiring does not depend on the group->shard mapping.
-struct LeafRelay {
+/// Group-output hook (a leaf in fixed mode, the group relay in planned
+/// mode): detach the aggregate from its group and post it to the top's
+/// shard with the cross-group latency. Identical for every group (including
+/// group 0, whose post degenerates to a local schedule), so the wiring does
+/// not depend on the group->shard mapping.
+struct GroupRelay {
   CampaignState* st;
   std::size_t group;
   void operator()(fl::ModelUpdate u) const {
@@ -117,6 +124,73 @@ struct ArrivalFn {
   }
 };
 
+/// Apply the configured cold-start model to a to-be-spawned runtime.
+void spawn_cold(fl::AggregatorRuntime::Config& c,
+                const ShardedCampaignConfig& cfg) {
+  if (cfg.cold_start_spawns) apply_lifl_cold_start(c);
+}
+
+/// Arm the round's open-loop arrival chain for one group.
+void arm_arrivals(CampaignState& st, Group& g, std::uint32_t round,
+                  double epoch) {
+  g.round = round;
+  g.epoch = epoch;
+  g.launched = 0;
+  g.target = st.cfg->per_group_target();
+  g.next_rel = g.arrivals->next_after(0.0, g.rng);
+  g.sim->schedule_at(g.epoch + g.next_rel, ArrivalFn{&st, &g});
+}
+
+/// Build the fixed two-level tree of one round (the pre-orchestrator
+/// baseline, preserved for A/B): fresh runtimes everywhere, torn down at
+/// the end of the round. Returns the number spawned.
+std::uint64_t arm_fixed_round(CampaignState& st, std::uint32_t round) {
+  const ShardedCampaignConfig& cfg = *st.cfg;
+  std::uint64_t spawned = 0;
+  fl::AggregatorRuntime::Config tc;
+  tc.id = 1;
+  tc.node = 0;
+  tc.role = fl::AggRole::kTop;
+  tc.timing = cfg.timing;
+  tc.goal = static_cast<std::uint32_t>(cfg.groups * cfg.leaves_per_group);
+  tc.result_bytes = cfg.model_bytes;
+  tc.expected_version = round;
+  tc.on_result = [&st](fl::ModelUpdate u) {
+    st.round_done = true;
+    st.completed_at = st.groups[0].sim->now();
+    st.round_samples = u.sample_count;
+  };
+  spawn_cold(tc, cfg);
+  Group& g0 = st.groups[0];
+  g0.aggs.push_back(std::make_unique<fl::AggregatorRuntime>(*g0.plane, tc));
+  g0.aggs.back()->start();
+  st.top = g0.aggs.back().get();
+  ++spawned;
+
+  for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
+    Group& g = st.groups[gi];
+    fl::ParticipantId next_id = 10;
+    for (std::size_t l = 0; l < cfg.leaves_per_group; ++l) {
+      fl::AggregatorRuntime::Config lc;
+      lc.id = next_id++;
+      lc.node = 0;
+      lc.role = fl::AggRole::kLeaf;
+      lc.timing = cfg.timing;
+      lc.goal = cfg.updates_per_leaf;
+      lc.consumer = 0;  // results leave the group through the relay hook
+      lc.result_bytes = cfg.model_bytes;
+      lc.pull_from_pool = true;
+      lc.expected_version = round;
+      lc.on_result = GroupRelay{&st, gi};
+      spawn_cold(lc, cfg);
+      g.aggs.push_back(std::make_unique<fl::AggregatorRuntime>(*g.plane, lc));
+      g.aggs.back()->start();
+      ++spawned;
+    }
+  }
+  return spawned;
+}
+
 }  // namespace
 
 ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
@@ -124,6 +198,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     throw std::invalid_argument("sharded campaign: groups must be >= 1");
   }
   const auto wall0 = std::chrono::steady_clock::now();
+  const bool planned = cfg.hierarchy == HierarchyMode::kPlanned;
 
   sim::ShardedSimulator::Config scfg;
   scfg.shards = cfg.shards;
@@ -142,6 +217,18 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
                                   cfg.ramp_secs, cfg.diurnal_amplitude,
                                   cfg.diurnal_period_secs};
 
+  if (planned) {
+    ctrl::CampaignPlanner::Config pcfg;
+    pcfg.updates_per_leaf = cfg.updates_per_leaf;
+    pcfg.middle_fanin = cfg.middle_fanin;
+    pcfg.min_leaves = 1;
+    pcfg.max_leaves = static_cast<std::uint32_t>(
+        std::max<std::size_t>(1, cfg.leaves_per_group));
+    pcfg.ewma_alpha = cfg.ewma_alpha;
+    pcfg.hysteresis = cfg.replan_hysteresis;
+    st.planner = std::make_unique<ctrl::CampaignPlanner>(pcfg, cfg.groups);
+  }
+
   for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
     Group& g = st.groups[gi];
     g.id = gi;
@@ -158,6 +245,23 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
         pop_per_group, /*mobile=*/true, g.rng,
         /*first_id=*/1'000'000 + gi * pop_per_group);
     g.arrivals = std::make_unique<wl::ArrivalProcess>(acfg);
+    if (planned) {
+      StreamingHierarchy::Config hcfg;
+      hcfg.group = gi;
+      hcfg.node = 0;
+      hcfg.relay_id = 2;
+      hcfg.middle_base = 100;
+      hcfg.leaf_base = 1000;
+      hcfg.updates_per_leaf = cfg.updates_per_leaf;
+      hcfg.leaf_timing = cfg.timing;
+      hcfg.result_bytes = cfg.model_bytes;
+      hcfg.reuse = cfg.reuse;
+      hcfg.replan_interval = cfg.replan_interval_secs;
+      hcfg.cold_start_spawns = cfg.cold_start_spawns;
+      hcfg.on_relay_result = GroupRelay{&st, gi};
+      g.hier = std::make_unique<StreamingHierarchy>(*g.plane, *st.planner,
+                                                    hcfg);
+    }
   }
 
   ShardedCampaignResult result;
@@ -169,54 +273,52 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
       epoch = std::max(epoch, sharded.shard(s).now());
     }
-
-    // ---- build the round's hierarchy (coordinator thread, sims idle).
     st.round_done = false;
-    fl::AggregatorRuntime::Config tc;
-    tc.id = 1;
-    tc.node = 0;
-    tc.role = fl::AggRole::kTop;
-    tc.timing = cfg.timing;
-    tc.goal = static_cast<std::uint32_t>(cfg.groups * cfg.leaves_per_group);
-    tc.result_bytes = cfg.model_bytes;
-    tc.expected_version = round;
-    tc.on_result = [&st](fl::ModelUpdate u) {
-      st.round_done = true;
-      st.completed_at = st.groups[0].sim->now();
-      st.round_samples = u.sample_count;
-    };
-    Group& g0 = st.groups[0];
-    g0.aggs.push_back(std::make_unique<fl::AggregatorRuntime>(*g0.plane, tc));
-    g0.aggs.back()->start();
-    st.top = g0.aggs.back().get();
+    std::uint64_t spawned = 0;
+    std::uint64_t reused = 0;
+
+    if (planned) {
+      // ---- streaming orchestrator: the coordinator plans at the round
+      // barrier (shards idle), groups arm + re-plan locally mid-round.
+      fl::AggregatorRuntime::Config tc;
+      tc.id = 1;
+      tc.node = 0;
+      tc.role = fl::AggRole::kTop;
+      tc.timing = fl::AggTiming::kEager;
+      tc.goal = static_cast<std::uint32_t>(cfg.uploads_per_round());
+      tc.goal_kind = fl::GoalKind::kFoldedUpdates;
+      tc.result_bytes = cfg.model_bytes;
+      tc.expected_version = round;
+      tc.on_result = [&st](fl::ModelUpdate u) {
+        st.round_done = true;
+        st.completed_at = st.groups[0].sim->now();
+        st.round_samples = u.sample_count;
+      };
+      if (st.top_rt && cfg.reuse) {
+        st.top_rt->rearm(std::move(tc));
+        ++reused;
+      } else {
+        spawn_cold(tc, cfg);
+        st.top_rt = std::make_unique<fl::AggregatorRuntime>(
+            *st.groups[0].plane, std::move(tc));
+        st.top_rt->start();
+        ++spawned;
+      }
+      st.top = st.top_rt.get();
+
+      const std::vector<double> expected(
+          cfg.groups, static_cast<double>(cfg.per_group_target()));
+      const ctrl::CampaignPlan plan = st.planner->plan_round(expected);
+      for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
+        st.groups[gi].hier->begin_round(round, cfg.per_group_target(),
+                                        plan.groups[gi]);
+      }
+    } else {
+      spawned += arm_fixed_round(st, round);
+    }
 
     for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
-      Group& g = st.groups[gi];
-      fl::ParticipantId next_id = 10;
-      for (std::size_t l = 0; l < cfg.leaves_per_group; ++l) {
-        fl::AggregatorRuntime::Config lc;
-        lc.id = next_id++;
-        lc.node = 0;
-        lc.role = fl::AggRole::kLeaf;
-        lc.timing = cfg.timing;
-        lc.goal = cfg.updates_per_leaf;
-        lc.consumer = 0;  // results leave the group through the relay
-        lc.result_bytes = cfg.model_bytes;
-        lc.pull_from_pool = true;
-        lc.expected_version = round;
-        lc.on_result = LeafRelay{&st, gi};
-        g.aggs.push_back(
-            std::make_unique<fl::AggregatorRuntime>(*g.plane, lc));
-        g.aggs.back()->start();
-      }
-
-      // Arm the round's open-loop arrival chain.
-      g.round = round;
-      g.epoch = epoch;
-      g.launched = 0;
-      g.target = cfg.leaves_per_group * cfg.updates_per_leaf;
-      g.next_rel = g.arrivals->next_after(0.0, g.rng);
-      g.sim->schedule_at(g.epoch + g.next_rel, ArrivalFn{&st, &g});
+      arm_arrivals(st, st.groups[gi], round, epoch);
     }
 
     // ---- run the round to completion across all shards.
@@ -225,12 +327,33 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
       throw std::runtime_error("sharded campaign: round " +
                                std::to_string(round) + " did not complete");
     }
+    result.round_started_at.push_back(epoch);
     result.round_completed_at.push_back(st.completed_at);
     result.round_samples.push_back(st.round_samples);
 
-    // Tear down the round's instances (coordinator thread, sims idle).
-    st.top = nullptr;
-    for (auto& g : st.groups) g.aggs.clear();
+    // Round-boundary bookkeeping (coordinator thread, sims idle).
+    if (planned) {
+      for (auto& g : st.groups) {
+        const StreamingHierarchy::Stats& rs = g.hier->round_stats();
+        spawned += rs.spawned;
+        reused += rs.reused;
+        result.replans += rs.replans;
+        result.leaf_drains += rs.drains;
+        result.peak_leaves = std::max(result.peak_leaves, rs.peak_leaves);
+        g.hier->end_round();
+      }
+      if (!cfg.reuse) {
+        st.top = nullptr;
+        st.top_rt.reset();
+      }
+    } else {
+      st.top = nullptr;
+      for (auto& g : st.groups) g.aggs.clear();
+    }
+    result.round_spawned.push_back(spawned);
+    result.round_reused.push_back(reused);
+    result.spawned_total += spawned;
+    result.reused_total += reused;
   }
 
   // ---- collect per-group aggregates (group-local event order only).

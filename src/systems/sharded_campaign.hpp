@@ -9,6 +9,16 @@
 
 namespace lifl::sys {
 
+/// How the campaign builds its aggregation trees.
+enum class HierarchyMode : std::uint8_t {
+  kFixed,    ///< the pre-orchestrator baseline: a fixed two-level tree per
+             ///< group, torn down and respawned every round (per-round
+             ///< aggregator churn; every spawn pays the LIFL cold start)
+  kPlanned,  ///< the streaming hierarchy orchestrator: planner-driven
+             ///< multi-level trees (leaf → middle → group relay → top),
+             ///< mid-round re-planning, warm cross-round instance reuse
+};
+
 /// A mega-campaign (examples/mega_campaign) partitioned into node *groups*
 /// so it can execute on the sharded simulator core.
 ///
@@ -42,8 +52,28 @@ struct ShardedCampaignConfig {
   std::uint32_t gateway_cores = 2;
   std::uint32_t gateway_queues = 0;  ///< 0 = one RSS queue per gateway core
 
+  // ---- aggregation engine (the streaming hierarchy orchestrator) -------
+  HierarchyMode hierarchy = HierarchyMode::kFixed;
+  /// Warm cross-round instance reuse in planned mode (false = churn A/B:
+  /// every round respawns cold, like the fixed baseline).
+  bool reuse = true;
+  /// Mid-round re-plan period in simulated seconds (planned mode; 0
+  /// disables — the round-boundary plan then holds for the whole round).
+  double replan_interval_secs = 5.0;
+  /// Leaf batches per middle aggregator; also the relay fan-in threshold
+  /// above which the planner inserts the middle level.
+  std::uint32_t middle_fanin = 8;
+  double ewma_alpha = sim::calib::kEwmaAlpha;   ///< §5.2 smoothing
+  double replan_hysteresis = 0.25;  ///< dead band around the current size
+  /// Spawned aggregator runtimes pay the LIFL function cold start (both
+  /// modes; warm re-arms never do).
+  bool cold_start_spawns = true;
+
   std::size_t uploads_per_round() const {
     return groups * leaves_per_group * updates_per_leaf;
+  }
+  std::size_t per_group_target() const {
+    return leaves_per_group * updates_per_leaf;
   }
 };
 
@@ -59,9 +89,22 @@ struct ShardedGroupStats {
 };
 
 struct ShardedCampaignResult {
+  std::vector<double> round_started_at;    ///< round epoch (sim s)
   std::vector<double> round_completed_at;  ///< top aggregate landed (sim s)
   std::vector<std::uint64_t> round_samples;  ///< global FedAvg weight
+  /// Aggregator-runtime churn per round, across all groups plus the top:
+  /// `spawned` counts constructions (each pays the cold start when
+  /// `cold_start_spawns`), `reused` counts warm in-place re-arms. With the
+  /// orchestrator (planned mode + reuse), steady-state rounds spawn zero
+  /// new runtimes — see tests/streaming_hierarchy_test.cpp.
+  std::vector<std::uint64_t> round_spawned;
+  std::vector<std::uint64_t> round_reused;
   std::vector<ShardedGroupStats> groups;
+  std::uint64_t spawned_total = 0;
+  std::uint64_t reused_total = 0;
+  std::uint64_t replans = 0;      ///< mid-round plan changes applied
+  std::uint64_t leaf_drains = 0;  ///< partial accumulators drained on shrink
+  std::uint32_t peak_leaves = 0;  ///< max concurrent leaves in any group
   std::uint64_t events = 0;       ///< dispatched across all shards
   std::uint64_t cross_posts = 0;  ///< cross-shard mailbox traffic
   std::uint64_t windows = 0;      ///< conservative-window barriers

@@ -1,0 +1,326 @@
+#include "src/systems/streaming_hierarchy.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/calibration.hpp"
+#include "src/sim/periodic.hpp"
+
+namespace lifl::sys {
+
+namespace calib = sim::calib;
+
+void apply_lifl_cold_start(fl::AggregatorRuntime::Config& cfg) {
+  cfg.cold_trigger = fl::ColdStartTrigger::kOnStart;
+  cfg.cold_start_secs = calib::kLiflColdStartSecs;
+  cfg.cold_start_cycles = calib::kLiflColdStartCycles;
+}
+
+StreamingHierarchy::StreamingHierarchy(dp::DataPlane& plane,
+                                       ctrl::CampaignPlanner& planner,
+                                       Config cfg)
+    : plane_(plane), planner_(planner), cfg_(std::move(cfg)) {}
+
+StreamingHierarchy::~StreamingHierarchy() = default;
+
+sim::Simulator& StreamingHierarchy::sim() {
+  return plane_.cluster().sim();
+}
+
+std::unique_ptr<fl::AggregatorRuntime> StreamingHierarchy::acquire(
+    fl::AggregatorRuntime::Config rc) {
+  if (!pool_.empty()) {
+    // Warm reuse: re-arm in place — zero start-up cost, no registration of
+    // a new sandbox. LIFO keeps the hottest instance hottest.
+    auto rt = std::move(pool_.back());
+    pool_.pop_back();
+    rt->rearm(std::move(rc));
+    ++round_.reused;
+    ++total_.reused;
+    return rt;
+  }
+  if (cfg_.cold_start_spawns) apply_lifl_cold_start(rc);
+  auto rt = std::make_unique<fl::AggregatorRuntime>(plane_, std::move(rc));
+  rt->start();
+  ++round_.spawned;
+  ++total_.spawned;
+  return rt;
+}
+
+void StreamingHierarchy::park(std::unique_ptr<fl::AggregatorRuntime> rt) {
+  // Never destroyed here: park can run inside the runtime's own on_result
+  // (a leaf self-parking after its final batch), where destruction would
+  // free the object mid-callback. The pool is dropped only between rounds.
+  pool_.push_back(std::move(rt));
+}
+
+std::uint64_t StreamingHierarchy::claim_batch() {
+  const std::uint64_t left = target_ - claimed_;
+  const std::uint64_t b = std::min<std::uint64_t>(cfg_.updates_per_leaf, left);
+  claimed_ += b;
+  if (claimed_ >= target_ && !sealed_) {
+    sealed_ = true;
+    seal_middles();
+  }
+  return b;
+}
+
+std::size_t StreamingHierarchy::assign_parent(std::uint64_t n) {
+  // Once the round's batches are fully assigned the middles are sealed, so
+  // any claim resurrected by a retiring leaf's release routes straight to
+  // the relay (its folded-count goal absorbs either path).
+  if (middles_.empty() || sealed_) return kNoMiddle;
+  const std::size_t m = rr_++ % middles_.size();
+  middles_[m].assigned += n;
+  return m;
+}
+
+void StreamingHierarchy::seal_middles() {
+  for (auto& m : middles_) {
+    // Seal at the updates actually routed through it; a middle that was
+    // never assigned anything keeps goal 0 and simply never sends.
+    m.rt->set_goal(static_cast<std::uint32_t>(m.assigned), /*open=*/false);
+  }
+}
+
+fl::AggregatorRuntime::Config StreamingHierarchy::leaf_config(
+    const LeafSlot& s) {
+  fl::AggregatorRuntime::Config lc;
+  lc.id = leaf_id(s);
+  lc.node = cfg_.node;
+  lc.role = fl::AggRole::kLeaf;
+  lc.timing = cfg_.leaf_timing;
+  lc.goal = static_cast<std::uint32_t>(s.batch);
+  lc.goal_kind = fl::GoalKind::kMessages;
+  lc.result_bytes = cfg_.result_bytes;
+  lc.pull_from_pool = true;
+  lc.expected_version = round_num_;
+  LeafSlot* sp = const_cast<LeafSlot*>(&s);
+  lc.on_result = [this, sp](fl::ModelUpdate u) {
+    on_leaf_batch(sp, std::move(u));
+  };
+  return lc;
+}
+
+bool StreamingHierarchy::activate_leaf() {
+  const std::uint64_t b = claim_batch();
+  if (b == 0) return false;
+  LeafSlot* s = nullptr;
+  for (auto& slot : slots_) {
+    if (!slot->rt) {
+      s = slot.get();
+      break;
+    }
+  }
+  if (s == nullptr) {
+    slots_.push_back(std::make_unique<LeafSlot>());
+    s = slots_.back().get();
+    s->idx = slots_.size() - 1;
+  }
+  s->batch = b;
+  s->middle = assign_parent(b);
+  s->retiring = false;
+  s->rt = acquire(leaf_config(*s));
+  ++active_;
+  round_.peak_leaves = std::max(round_.peak_leaves, active_);
+  total_.peak_leaves = std::max(total_.peak_leaves, active_);
+  return true;
+}
+
+void StreamingHierarchy::retire_leaf(LeafSlot& s) {
+  s.retiring = true;
+  --active_;
+  // Seal the leaf at the updates it already accepted: the partial
+  // accumulator drains into its parent (on_leaf_batch forwards it when the
+  // forced Send fires), and the unfilled remainder of its claim is
+  // released for surviving leaves to re-claim — nothing is lost.
+  const std::uint32_t have = s.rt->received();
+  const std::uint64_t unfilled = s.batch - have;
+  claimed_ -= unfilled;
+  if (unfilled > 0 && s.middle != kNoMiddle) {
+    Middle& m = middles_[s.middle];
+    m.assigned -= unfilled;
+    if (sealed_) {
+      m.rt->set_goal(static_cast<std::uint32_t>(m.assigned), /*open=*/false);
+    }
+  }
+  s.batch = have;
+  if (have == 0) {
+    park_leaf(s);
+  } else if (unfilled > 0) {
+    ++round_.drains;
+    ++total_.drains;
+    s.rt->drain();  // may complete (and park via on_leaf_batch) synchronously
+  }
+  // else: the batch is fully received and mid-fold — it completes through
+  // the normal path and parks (retiring) in on_leaf_batch; nothing drained.
+  // A release with no survivor to re-claim it would stall the round: wake a
+  // mop-up leaf from the pool.
+  if (active_ == 0 && claimed_ < target_) activate_leaf();
+}
+
+void StreamingHierarchy::park_leaf(LeafSlot& s) {
+  s.rt->stop();
+  park(std::move(s.rt));
+}
+
+void StreamingHierarchy::on_leaf_batch(LeafSlot* s, fl::ModelUpdate u) {
+  const fl::ParticipantId parent =
+      s->middle == kNoMiddle ? cfg_.relay_id : middles_[s->middle].id;
+  plane_.send(leaf_id(*s), cfg_.node, parent, std::move(u));
+  if (s->retiring) {
+    park_leaf(*s);
+    return;
+  }
+  const std::uint64_t b = claim_batch();
+  if (b == 0) {
+    // The round's work is fully claimed: park into the warm pool for the
+    // next round (or a mid-round grow).
+    --active_;
+    park_leaf(*s);
+    return;
+  }
+  s->batch = b;
+  s->middle = assign_parent(b);
+  s->rt->rearm(leaf_config(*s));  // streaming self-re-arm: same warm sandbox
+}
+
+void StreamingHierarchy::apply_leaf_target(std::uint32_t target) {
+  if (relay_done_) return;
+  if (claimed_ < target_) target = std::max(target, 1u);
+  if (target == active_) return;
+  ++round_.replans;
+  ++total_.replans;
+  if (target > active_) {
+    while (active_ < target && activate_leaf()) {
+    }
+  } else {
+    std::uint32_t excess = active_ - target;
+    // Retire from the top of the slot range so low slots stay the stable
+    // long-lived leaves.
+    for (std::size_t i = slots_.size(); i-- > 0 && excess > 0;) {
+      LeafSlot& s = *slots_[i];
+      if (s.rt && !s.retiring) {
+        retire_leaf(s);
+        --excess;
+      }
+    }
+  }
+  planner_.set_current(cfg_.group, active_);
+}
+
+bool StreamingHierarchy::sampler_tick() {
+  if (relay_done_) return false;
+  auto& pool = plane_.env(cfg_.node).pool;
+  const std::uint64_t pushed = pool.total_pushed();
+  const double arrivals = static_cast<double>(pushed - last_pushed_);
+  last_pushed_ = pushed;
+  // Pending estimate: what is queued plus what arrived over the sample
+  // window (with eager pull leaves the queue itself stays near zero — the
+  // arrival flux is the §5.2 "pending updates" signal here). The EWMA is
+  // fed every window even after the round's batches are fully assigned:
+  // the carried estimate is what sizes the *next* round's initial tree at
+  // the coordinator barrier.
+  const double backlog = static_cast<double>(pool.depth()) + arrivals;
+  const auto t = planner_.replan(cfg_.group, backlog);
+  if (t.has_value() && !sealed_) apply_leaf_target(*t);
+  return !relay_done_;
+}
+
+void StreamingHierarchy::begin_round(std::uint32_t round,
+                                     std::uint64_t target,
+                                     const ctrl::GroupPlan& plan) {
+  round_num_ = round;
+  target_ = target;
+  claimed_ = 0;
+  sealed_ = false;
+  relay_done_ = false;
+  rr_ = 0;
+  round_ = Stats{};
+  if (!cfg_.reuse) pool_.clear();  // churn baseline: nothing stays warm
+  auto& pool = plane_.env(cfg_.node).pool;
+  // Waiters left by drained leaves of earlier rounds are dead (their ctx
+  // was invalidated at park); clear them so pushes wake live leaves first.
+  pool.clear_waiters();
+  last_pushed_ = pool.total_pushed();
+  if (target == 0) {
+    relay_done_ = true;  // nothing to aggregate: the group sits the round out
+    planner_.set_current(cfg_.group, 0);
+    return;
+  }
+
+  // ---- relay: one per group, folded-count goal == the round target, so it
+  // completes exactly when every client update arrived through any tree.
+  fl::AggregatorRuntime::Config rc;
+  rc.id = cfg_.relay_id;
+  rc.node = cfg_.node;
+  rc.role = fl::AggRole::kMiddle;
+  rc.timing = fl::AggTiming::kEager;
+  rc.goal = static_cast<std::uint32_t>(target);
+  rc.goal_kind = fl::GoalKind::kFoldedUpdates;
+  rc.result_bytes = cfg_.result_bytes;
+  rc.expected_version = round;
+  rc.on_result = [this](fl::ModelUpdate u) {
+    relay_done_ = true;
+    if (cfg_.on_relay_result) cfg_.on_relay_result(std::move(u));
+  };
+  relay_ = acquire(std::move(rc));
+
+  // ---- middles: open folded-count goals, sealed at claim exhaustion.
+  middles_.clear();
+  for (std::uint32_t m = 0; m < plan.middles; ++m) {
+    Middle mid;
+    mid.id = cfg_.middle_base + m;
+    fl::AggregatorRuntime::Config mc;
+    mc.id = mid.id;
+    mc.node = cfg_.node;
+    mc.role = fl::AggRole::kMiddle;
+    mc.timing = fl::AggTiming::kEager;
+    mc.goal = 0;
+    mc.goal_open = true;
+    mc.goal_kind = fl::GoalKind::kFoldedUpdates;
+    mc.consumer = cfg_.relay_id;
+    mc.result_bytes = cfg_.result_bytes;
+    mc.expected_version = round;
+    mid.rt = acquire(std::move(mc));
+    middles_.push_back(std::move(mid));
+  }
+
+  // ---- initial leaf set per the round-boundary plan.
+  const std::uint32_t initial = std::max<std::uint32_t>(1, plan.leaves);
+  while (active_ < initial && activate_leaf()) {
+  }
+  planner_.set_current(cfg_.group, active_);
+
+  // ---- mid-round re-planning: a deterministic group-local pulse; it ends
+  // itself once the group's relay completed, so it cannot keep the
+  // simulation alive past the round.
+  if (cfg_.replan_interval > 0.0 && !relay_done_) {
+    sim::schedule_every(sim(), sim().now() + cfg_.replan_interval,
+                        cfg_.replan_interval,
+                        [this] { return sampler_tick(); });
+  }
+}
+
+void StreamingHierarchy::end_round() {
+  for (auto& m : middles_) {
+    if (m.rt) {
+      m.rt->stop();
+      park(std::move(m.rt));
+    }
+  }
+  middles_.clear();
+  for (auto& s : slots_) {
+    if (s->rt) {
+      if (!s->retiring) --active_;
+      park_leaf(*s);
+    }
+  }
+  if (relay_) {
+    relay_->stop();
+    park(std::move(relay_));
+  }
+  if (!cfg_.reuse) pool_.clear();
+}
+
+}  // namespace lifl::sys

@@ -1,0 +1,177 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/control/campaign_planner.hpp"
+#include "src/dataplane/dataplane.hpp"
+#include "src/fl/aggregator_runtime.hpp"
+#include "src/sim/time.hpp"
+
+namespace lifl::sys {
+
+/// Stamp the LIFL function cold-start model onto a to-be-spawned runtime
+/// config. The single definition both campaign modes use, so the fixed
+/// baseline and the orchestrator always model the identical spawn cost —
+/// the A/B `bench/micro_hierarchy_replan` gates on.
+void apply_lifl_cold_start(fl::AggregatorRuntime::Config& cfg);
+
+/// Per-group engine of the streaming hierarchy orchestrator: owns a warm
+/// pool of `AggregatorRuntime`s and runs the planner-driven multi-level
+/// tree (leaf → middle → group relay) of one node group, for one round at
+/// a time, with mid-round re-planning and cross-round instance reuse.
+///
+/// Lifecycle per round (plan → arm → stream → re-plan):
+///  - **plan**: the coordinator sizes the group's tree from the planner's
+///    smoothed estimate at the round barrier (`begin_round` takes the
+///    GroupPlan);
+///  - **arm**: relay, middles and the initial leaf set are re-armed from
+///    the warm pool (`rearm`: zero start-up cost); only a pool miss spawns
+///    a new runtime, paying the LIFL cold start;
+///  - **stream**: each leaf *claims* a batch of up to `updates_per_leaf`
+///    client updates from the round target, pulls them off the group pool,
+///    sends the partial aggregate to its parent, and re-arms itself for
+///    the next batch — one warm instance folds many batches per round. The
+///    relay counts **folded client updates** (GoalKind::kFoldedUpdates), so
+///    it completes exactly when every one of the round's `target` updates
+///    has been folded through *any* shape of tree — the invariant that
+///    makes re-planning lossless;
+///  - **re-plan**: a deterministic, group-local periodic pulse samples the
+///    pool backlog, feeds the planner's EWMA, and applies leaf-target
+///    changes through the hysteresis band: growth activates parked leaves
+///    (claiming fresh batches), shrink *drains* retiring leaves — their
+///    partial accumulators are sealed and sent to their parent, the
+///    unfilled remainder of their claim is released for survivors to
+///    re-claim, and no update is lost.
+///
+/// Every decision is made in group-local event order (the planner slot,
+/// the pool, the claims), so results are bitwise identical for any shard
+/// count, and the *final model* is invariant under the number of re-plans.
+class StreamingHierarchy {
+ public:
+  struct Config {
+    std::size_t group = 0;       ///< planner slot this engine owns
+    sim::NodeId node = 0;        ///< the group's (single) worker node
+    fl::ParticipantId relay_id = 2;
+    fl::ParticipantId middle_base = 100;
+    fl::ParticipantId leaf_base = 1000;
+    std::uint32_t updates_per_leaf = sim::calib::kUpdatesPerLeaf;  ///< I
+    fl::AggTiming leaf_timing = fl::AggTiming::kEager;
+    std::size_t result_bytes = 0;   ///< wire size of intermediate updates
+    bool reuse = true;           ///< warm cross-round reuse (false: the
+                                 ///< churn baseline — pool dropped between
+                                 ///< rounds, every round spawns cold)
+    /// Mid-round re-plan period in simulated seconds (0 disables; the
+    /// initial plan then holds for the whole round).
+    double replan_interval = 0.0;
+    /// Spawned instances pay the LIFL function cold start; re-armed warm
+    /// instances never do.
+    bool cold_start_spawns = true;
+    /// Sink for the relay's round aggregate (the group's one cross-group
+    /// message; the campaign posts it to the top aggregator's shard).
+    fl::AggregatorRuntime::ResultFn on_relay_result;
+  };
+
+  /// Spawn/reuse/re-plan accounting; `round_stats` resets at begin_round.
+  struct Stats {
+    std::uint64_t spawned = 0;   ///< runtimes constructed (cold)
+    std::uint64_t reused = 0;    ///< runtimes re-armed warm (activations
+                                 ///< from the pool; per-batch self-re-arms
+                                 ///< are streaming, not reuse, and are not
+                                 ///< counted here)
+    std::uint64_t replans = 0;   ///< mid-round plan changes applied
+    std::uint64_t drains = 0;    ///< partial accumulators drained on shrink
+    std::uint32_t peak_leaves = 0;
+  };
+
+  StreamingHierarchy(dp::DataPlane& plane, ctrl::CampaignPlanner& planner,
+                     Config cfg);
+  ~StreamingHierarchy();
+  StreamingHierarchy(const StreamingHierarchy&) = delete;
+  StreamingHierarchy& operator=(const StreamingHierarchy&) = delete;
+
+  /// Arm the group's tree for a round of exactly `target` client updates
+  /// (coordinator thread, shard idle). `plan` is the round-boundary plan
+  /// for this group.
+  void begin_round(std::uint32_t round, std::uint64_t target,
+                   const ctrl::GroupPlan& plan);
+
+  /// Park the round's remaining instances into the warm pool (coordinator
+  /// thread, shard idle, after the round completed). With reuse disabled
+  /// the pool is dropped instead.
+  void end_round();
+
+  /// Apply a leaf-count target now (the re-plan pulse uses this; tests use
+  /// it to force grow/shrink at chosen instants). Clamped to >= 1 while
+  /// unclaimed work remains.
+  void apply_leaf_target(std::uint32_t target);
+
+  bool round_done() const noexcept { return relay_done_; }
+  std::uint32_t active_leaves() const noexcept { return active_; }
+  std::uint64_t claimed() const noexcept { return claimed_; }
+  const Stats& total_stats() const noexcept { return total_; }
+  const Stats& round_stats() const noexcept { return round_; }
+  std::size_t warm_pool_size() const noexcept { return pool_.size(); }
+
+ private:
+  /// Stable per-leaf slot: the runtime moves between the slot (active) and
+  /// the warm pool (parked); `on_result` functors capture the slot pointer,
+  /// which outlives every activation.
+  struct LeafSlot {
+    std::size_t idx = 0;
+    std::unique_ptr<fl::AggregatorRuntime> rt;  ///< null when parked
+    std::uint64_t batch = 0;    ///< size of the currently claimed batch
+    std::size_t middle = kNoMiddle;  ///< parent middle, or relay
+    bool retiring = false;
+  };
+  struct Middle {
+    fl::ParticipantId id = 0;
+    std::unique_ptr<fl::AggregatorRuntime> rt;
+    std::uint64_t assigned = 0;  ///< client updates routed through it
+  };
+  static constexpr std::size_t kNoMiddle = static_cast<std::size_t>(-1);
+
+  sim::Simulator& sim();
+  fl::ParticipantId leaf_id(const LeafSlot& s) const {
+    return cfg_.leaf_base + s.idx;
+  }
+
+  /// Pop a warm runtime and re-arm it, or construct one (cold start).
+  std::unique_ptr<fl::AggregatorRuntime> acquire(
+      fl::AggregatorRuntime::Config rc);
+  void park(std::unique_ptr<fl::AggregatorRuntime> rt);
+
+  std::uint64_t claim_batch();
+  /// Choose the parent for a fresh batch of `n` updates and account it.
+  std::size_t assign_parent(std::uint64_t n);
+  void seal_middles();
+  fl::AggregatorRuntime::Config leaf_config(const LeafSlot& s);
+  bool activate_leaf();
+  void retire_leaf(LeafSlot& s);
+  void park_leaf(LeafSlot& s);
+  void on_leaf_batch(LeafSlot* s, fl::ModelUpdate u);
+  bool sampler_tick();
+
+  dp::DataPlane& plane_;
+  ctrl::CampaignPlanner& planner_;
+  Config cfg_;
+  Stats total_, round_;
+
+  std::unique_ptr<fl::AggregatorRuntime> relay_;
+  std::vector<Middle> middles_;
+  std::vector<std::unique_ptr<LeafSlot>> slots_;
+  std::vector<std::unique_ptr<fl::AggregatorRuntime>> pool_;
+
+  std::uint32_t round_num_ = 0;
+  std::uint64_t target_ = 0;
+  std::uint64_t claimed_ = 0;
+  bool sealed_ = false;      ///< the round's batches are fully assigned
+  bool relay_done_ = false;
+  std::uint32_t active_ = 0;     ///< live, non-retiring leaves
+  std::size_t rr_ = 0;           ///< middle round-robin cursor
+  std::uint64_t last_pushed_ = 0;  ///< pool total_pushed at last sample
+};
+
+}  // namespace lifl::sys

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 
 #include "src/dataplane/dataplane.hpp"
@@ -342,6 +343,162 @@ TEST(AggregatorRuntime, SidecarObservesExecutionTimes) {
   w.sim.run();
   EXPECT_EQ(w.plane.env(0).metrics.get(dp::metric_keys::kAggExecCount), 2.0);
   EXPECT_GT(w.plane.env(0).metrics.get(dp::metric_keys::kAggExecSum), 0.0);
+}
+
+TEST(AggregatorRuntime, InvalidGoalCombinationsThrow) {
+  World w;
+  // Open goals may start at zero (they cannot complete while open).
+  AggregatorRuntime::Config open = leaf_cfg(1, 1);
+  open.goal = 0;
+  open.goal_open = true;
+  open.pull_from_pool = false;
+  open.goal_kind = GoalKind::kFoldedUpdates;
+  EXPECT_NO_THROW(AggregatorRuntime(w.plane, open));
+  // Pool pulls are sized in messages: folded-count goals cannot pull.
+  AggregatorRuntime::Config pull = leaf_cfg(2, 4);
+  pull.goal_kind = GoalKind::kFoldedUpdates;
+  EXPECT_THROW(AggregatorRuntime(w.plane, pull), std::invalid_argument);
+  // Lazy batches are bounded in messages too.
+  AggregatorRuntime::Config lazy = leaf_cfg(3, 4);
+  lazy.pull_from_pool = false;
+  lazy.timing = AggTiming::kLazy;
+  lazy.goal_kind = GoalKind::kFoldedUpdates;
+  EXPECT_THROW(AggregatorRuntime(w.plane, lazy), std::invalid_argument);
+}
+
+TEST(AggregatorRuntime, FoldedGoalCompletesOnClientUpdateCount) {
+  // A folded-count consumer finishes when the aggregates it folded
+  // *represent* `goal` client updates — two messages carrying 3 + 2.
+  World w;
+  AggregatorRuntime::Config c;
+  c.id = 1;
+  c.node = 0;
+  c.goal = 5;
+  c.goal_kind = GoalKind::kFoldedUpdates;
+  ModelUpdate out;
+  bool got = false;
+  c.on_result = [&](ModelUpdate u) {
+    out = std::move(u);
+    got = true;
+  };
+  AggregatorRuntime rt(w.plane, c);
+  rt.start();
+  ModelUpdate a = w.update(1, 30);
+  a.updates_folded = 3;
+  rt.inject(std::move(a));
+  w.sim.run();
+  EXPECT_FALSE(got);  // 3 of 5 folded: keep listening
+  EXPECT_EQ(rt.folded(), 3u);
+  ModelUpdate b = w.update(1, 20);
+  b.updates_folded = 2;
+  rt.inject(std::move(b));
+  w.sim.run();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(out.updates_folded, 5u);
+  EXPECT_EQ(out.sample_count, 50u);
+}
+
+TEST(AggregatorRuntime, OpenGoalHoldsSendUntilSealed) {
+  World w;
+  AggregatorRuntime::Config c;
+  c.id = 1;
+  c.node = 0;
+  c.goal = 0;
+  c.goal_open = true;
+  c.goal_kind = GoalKind::kFoldedUpdates;
+  bool got = false;
+  c.on_result = [&](ModelUpdate) { got = true; };
+  AggregatorRuntime rt(w.plane, c);
+  rt.start();
+  rt.inject(w.update(1, 10));
+  rt.inject(w.update(1, 20));
+  w.sim.run();
+  EXPECT_FALSE(got);  // open: folds but never sends
+  EXPECT_EQ(rt.folded(), 2u);
+  rt.set_goal(2, /*open=*/false);  // seal at what was assigned
+  w.sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(AggregatorRuntime, SetGoalShrinkTriggersImmediateSend) {
+  World w;
+  AggregatorRuntime::Config c = leaf_cfg(1, 10);
+  ModelUpdate out;
+  bool got = false;
+  c.on_result = [&](ModelUpdate u) {
+    out = std::move(u);
+    got = true;
+  };
+  AggregatorRuntime rt(w.plane, c);
+  rt.start();
+  w.plane.env(0).pool.push(w.update(1, 10));
+  w.plane.env(0).pool.push(w.update(1, 30));
+  w.sim.run();
+  EXPECT_FALSE(got);  // 2 of 10 folded, idle
+  rt.set_goal(2);
+  EXPECT_TRUE(got);   // the shrunken goal is already met
+  EXPECT_EQ(out.sample_count, 40u);
+}
+
+TEST(AggregatorRuntime, DrainSealsAtReceivedAndSendsPartial) {
+  World w;
+  AggregatorRuntime::Config c = leaf_cfg(1, 10);
+  ModelUpdate out;
+  bool got = false;
+  c.on_result = [&](ModelUpdate u) {
+    out = std::move(u);
+    got = true;
+  };
+  AggregatorRuntime rt(w.plane, c);
+  rt.start();
+  w.plane.env(0).pool.push(w.update(1, 5));
+  w.plane.env(0).pool.push(w.update(1, 7));
+  w.plane.env(0).pool.push(w.update(1, 9));
+  w.sim.run();
+  EXPECT_EQ(rt.drain(), 3u);
+  w.sim.run();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(out.updates_folded, 3u);
+  EXPECT_EQ(out.sample_count, 21u);
+}
+
+TEST(AggregatorRuntime, DrainWithNothingAcceptedSendsNothing) {
+  World w;
+  AggregatorRuntime::Config c = leaf_cfg(1, 10);
+  bool got = false;
+  c.on_result = [&](ModelUpdate) { got = true; };
+  AggregatorRuntime rt(w.plane, c);
+  rt.start();
+  EXPECT_EQ(rt.drain(), 0u);
+  w.sim.run();
+  EXPECT_FALSE(got);
+  EXPECT_FALSE(rt.done());
+}
+
+TEST(AggregatorRuntime, RearmFromOnResultStreamsBatches) {
+  // The streaming-leaf pattern: the on_result hook re-arms the same warm
+  // instance for the next batch, so one runtime folds many batches.
+  World w;
+  int batches = 0;
+  std::uint64_t samples = 0;
+  std::unique_ptr<AggregatorRuntime> rt;
+  std::function<AggregatorRuntime::Config()> make_cfg = [&] {
+    AggregatorRuntime::Config c = leaf_cfg(1, 2);
+    c.on_result = [&](ModelUpdate u) {
+      ++batches;
+      samples += u.sample_count;
+      if (batches < 3) rt->rearm(make_cfg());  // claim the next batch
+    };
+    return c;
+  };
+  rt = std::make_unique<AggregatorRuntime>(w.plane, make_cfg());
+  rt->start();
+  for (int i = 0; i < 6; ++i) {
+    w.plane.env(0).pool.push(w.update(1, 10));
+  }
+  w.sim.run();
+  EXPECT_EQ(batches, 3);
+  EXPECT_EQ(samples, 60u);
 }
 
 TEST(AggregatorRuntime, HierarchicalRealTensorsEqualFlatAverage) {
