@@ -1,0 +1,181 @@
+// Campaign checkpoint microbench: snapshot cost and restore cost for a
+// 1M-client, 8-node-group planned-mode mega-campaign.
+//
+// The campaign runs with the checkpoint driver on (snapshot marks every
+// `every` simulated seconds): each mark bills the CheckpointManager cost
+// model in-sim and emits a versioned blob at the next quiescent barrier.
+// The bench reports the blob size and the *wall* cost of producing one
+// (boundary encode + cut trailer), then resumes from the final blob and
+// verifies the resumed rounds are bitwise identical to the reference —
+// measuring the restore wall cost (decode + apply + deterministic replay
+// of the in-progress round's prefix).
+//
+// Emits BENCH_checkpoint.json. CI runs it in Release and fails the job if
+// the mean per-snapshot wall cost exceeds 10% of the steady-state round
+// wall time (LIFL_CKPT_BENCH_GATE=0 disables the gate).
+//
+// Build & run:  cmake -B build && cmake --build build -j
+//               ./build/bench/micro_checkpoint
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/systems/sharded_campaign.hpp"
+#include "src/systems/table.hpp"
+
+using namespace lifl;
+
+namespace {
+
+sys::ShardedCampaignConfig bench_campaign() {
+  sys::ShardedCampaignConfig cfg;
+  cfg.shards = 1;  // sim time is shard-count invariant; keep wall cost low
+  cfg.groups = 8;  // the paper's 8-node cluster
+  cfg.rounds = 2;
+  cfg.leaves_per_group = 62;
+  cfg.updates_per_leaf = 500;  // 248k uploads/round, 1M-client population
+  cfg.model_bytes = 100'000;
+  cfg.population = 1'000'000;
+  cfg.peak_per_sec = 2500.0;
+  cfg.ramp_secs = 60.0;
+  cfg.diurnal_amplitude = 0.3;
+  cfg.diurnal_period_secs = 600.0;
+  cfg.seed = 2026;
+  cfg.gateway_queues = 0;
+  cfg.hierarchy = sys::HierarchyMode::kPlanned;
+  cfg.replan_interval_secs = 5.0;
+  cfg.checkpoint_every_secs = 20.0;
+  return cfg;
+}
+
+struct Blob {
+  std::vector<std::uint8_t> bytes;
+  std::uint32_t round = 0;
+  double mark = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const bench::BenchMeta meta;
+  const auto cfg_base = bench_campaign();
+  std::printf(
+      "checkpoint microbench: %zu clients, %zu node groups, %zu rounds, "
+      "snapshot mark every %.0f sim s\n\n",
+      cfg_base.population, cfg_base.groups, cfg_base.rounds,
+      cfg_base.checkpoint_every_secs);
+
+  // ---- reference: checkpointed run, every blob captured.
+  std::vector<Blob> blobs;
+  auto cfg = cfg_base;
+  cfg.on_checkpoint = [&blobs](const std::vector<std::uint8_t>& bytes,
+                               std::uint32_t round, double mark) {
+    blobs.push_back(Blob{bytes, round, mark});
+  };
+  const auto reference = sys::run_sharded_campaign(cfg);
+  if (blobs.empty()) {
+    std::fprintf(stderr, "FAIL: campaign emitted no snapshots\n");
+    return 1;
+  }
+
+  const double round_wall_mean =
+      reference.wall_secs / static_cast<double>(cfg_base.rounds);
+  const double encode_mean_secs =
+      reference.checkpoint_encode_secs /
+      static_cast<double>(reference.checkpoints_written);
+  const double blob_mean_bytes =
+      static_cast<double>(reference.checkpoint_bytes) /
+      static_cast<double>(reference.checkpoints_written);
+
+  // ---- restore: resume from the last blob; the replay re-executes the
+  // final round's prefix, so this is the worst-case restore cost.
+  const Blob& last = blobs.back();
+  auto rcfg = cfg_base;
+  rcfg.resume_blob = &last.bytes;
+  const auto resumed = sys::run_sharded_campaign(rcfg);
+  bool identical = resumed.round_completed_at.size() ==
+                   reference.round_completed_at.size();
+  for (std::size_t r = 0; identical && r < reference.round_samples.size();
+       ++r) {
+    identical = reference.round_completed_at[r] ==
+                    resumed.round_completed_at[r] &&
+                reference.round_samples[r] == resumed.round_samples[r];
+  }
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: resumed campaign diverged from reference\n");
+    return 1;
+  }
+
+  sys::Table t({"metric", "value"});
+  t.row({"snapshots emitted",
+         std::to_string(reference.checkpoints_written)});
+  t.row({"marks billed (in-sim)",
+         std::to_string(reference.checkpoint_marks)});
+  t.row({"blob size (bytes, mean)", sys::fmt(blob_mean_bytes, 0)});
+  t.row({"snapshot wall (us, mean)", sys::fmt(encode_mean_secs * 1e6, 1)});
+  t.row({"round wall (s, mean)", sys::fmt(round_wall_mean, 3)});
+  t.row({"snapshot/round wall",
+         sys::fmt(encode_mean_secs / round_wall_mean * 100.0, 4) + "%"});
+  t.row({"restore+replay wall (s)", sys::fmt(resumed.wall_secs, 3)});
+  t.row({"resume cut", "round " + std::to_string(last.round) + ", mark " +
+                           sys::fmt(last.mark, 0) + " sim s"});
+  t.print("Campaign snapshot/restore at 1M clients, 8 node groups");
+  std::printf("resumed run bitwise-identical to reference: yes\n");
+
+  FILE* out = std::fopen("BENCH_checkpoint.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
+    std::fprintf(out,
+                 "  \"bench\": \"checkpoint\",\n"
+                 "  \"population\": %zu,\n"
+                 "  \"groups\": %zu,\n"
+                 "  \"rounds\": %zu,\n"
+                 "  \"checkpoint_every_secs\": %.3f,\n"
+                 "  \"snapshots\": %llu,\n"
+                 "  \"marks_billed\": %llu,\n"
+                 "  \"blob_bytes_mean\": %.1f,\n"
+                 "  \"snapshot_wall_secs_mean\": %.9f,\n"
+                 "  \"round_wall_secs_mean\": %.6f,\n"
+                 "  \"snapshot_round_frac\": %.9f,\n"
+                 "  \"restore_replay_wall_secs\": %.6f,\n"
+                 "  \"resumed_identical\": true\n"
+                 "}\n",
+                 cfg_base.population, cfg_base.groups, cfg_base.rounds,
+                 cfg_base.checkpoint_every_secs,
+                 static_cast<unsigned long long>(
+                     reference.checkpoints_written),
+                 static_cast<unsigned long long>(reference.checkpoint_marks),
+                 blob_mean_bytes, encode_mean_secs, round_wall_mean,
+                 encode_mean_secs / round_wall_mean, resumed.wall_secs);
+    std::fclose(out);
+    std::printf("wrote BENCH_checkpoint.json\n");
+  }
+
+  // ---- gate: a snapshot must cost well under 10% of a steady-state round
+  // (it is a boundary-image encode of O(groups) counters, not a model
+  // dump, so the margin is enormous; the gate catches regressions that
+  // would make the cadence unaffordable at diurnal-week scale).
+  bool gate = true;
+  if (const char* env = std::getenv("LIFL_CKPT_BENCH_GATE")) {
+    gate = std::strcmp(env, "0") != 0;
+  }
+  if (!gate) {
+    std::printf("gate SKIPPED (LIFL_CKPT_BENCH_GATE=0)\n");
+    return 0;
+  }
+  if (encode_mean_secs > 0.10 * round_wall_mean) {
+    std::fprintf(stderr,
+                 "FAIL: snapshot wall %.6f s exceeds 10%% of the %.3f s "
+                 "steady-state round wall\n",
+                 encode_mean_secs, round_wall_mean);
+    return 1;
+  }
+  std::printf("gate OK: snapshot %.1f us <= 10%% of %.3f s round wall\n",
+              encode_mean_secs * 1e6, round_wall_mean);
+  return 0;
+}

@@ -38,6 +38,7 @@
 //               ./build/examples/mega_campaign --shards=4 --hierarchy=planned
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -199,9 +200,17 @@ std::vector<RoundStats> run_campaign(const CampaignConfig& cfg,
   return stats;
 }
 
+/// Campaign checkpoint/restore knobs (sharded path only).
+struct CheckpointOpts {
+  double every_secs = 0.0;   ///< 0 = off
+  std::string checkpoint;    ///< latest-blob path (--checkpoint=PATH)
+  std::string resume;        ///< resume-blob path (--resume=PATH)
+};
+
 /// Run the campaign on the sharded core and print the per-round table.
 int run_sharded(const CampaignConfig& cfg, std::size_t shards,
-                sys::HierarchyMode mode, double replan_interval, bool reuse) {
+                sys::HierarchyMode mode, double replan_interval, bool reuse,
+                const CheckpointOpts& ck) {
   sys::ShardedCampaignConfig scfg;
   scfg.shards = shards;
   scfg.groups = cfg.nodes;
@@ -218,6 +227,9 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
   scfg.hierarchy = mode;
   scfg.replan_interval_secs = replan_interval;
   scfg.reuse = reuse;
+  scfg.checkpoint_every_secs = ck.every_secs;
+  scfg.checkpoint_path = ck.checkpoint;
+  scfg.resume_path = ck.resume;
 
   const bool planned = mode == sys::HierarchyMode::kPlanned;
   std::printf(
@@ -255,6 +267,17 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
         static_cast<unsigned long long>(r.replans),
         static_cast<unsigned long long>(r.leaf_drains), r.peak_leaves);
   }
+  if (ck.every_secs > 0.0) {
+    std::printf(
+        "checkpoints: %llu marks billed, %llu blobs written (%llu bytes, "
+        "%.3f s encode wall)%s%s\n",
+        static_cast<unsigned long long>(r.checkpoint_marks),
+        static_cast<unsigned long long>(r.checkpoints_written),
+        static_cast<unsigned long long>(r.checkpoint_bytes),
+        r.checkpoint_encode_secs,
+        ck.checkpoint.empty() ? "" : ", latest at ",
+        ck.checkpoint.empty() ? "" : ck.checkpoint.c_str());
+  }
   const long rss = peak_rss_kb();
   if (rss > 0) std::printf("peak RSS: %.1f MB\n", rss / 1024.0);
   return 0;
@@ -269,11 +292,13 @@ int main(int argc, char** argv) {
   sys::HierarchyMode mode = sys::HierarchyMode::kFixed;
   double replan_interval = 5.0;
   bool reuse = true;
+  CheckpointOpts ck;
   const auto usage = [&argv] {
     std::fprintf(stderr,
                  "usage: %s [population >= 1000] [--shards=K] "
                  "[--hierarchy=fixed|planned] [--replan-interval=SECS] "
-                 "[--reuse=0|1]\n",
+                 "[--reuse=0|1] [--checkpoint=PATH] [--resume=PATH] "
+                 "[--checkpoint-every=SECS]\n",
                  argv[0]);
     return 2;
   };
@@ -303,6 +328,25 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strncmp(argv[a], "--checkpoint-every=", 19) == 0) {
+      char* end = nullptr;
+      ck.every_secs = std::strtod(argv[a] + 19, &end);
+      if (end == argv[a] + 19 || *end != '\0' ||
+          !std::isfinite(ck.every_secs) || ck.every_secs <= 0.0) {
+        return usage();
+      }
+      continue;
+    }
+    if (std::strncmp(argv[a], "--checkpoint=", 13) == 0) {
+      ck.checkpoint = argv[a] + 13;
+      if (ck.checkpoint.empty()) return usage();
+      continue;
+    }
+    if (std::strncmp(argv[a], "--resume=", 9) == 0) {
+      ck.resume = argv[a] + 9;
+      if (ck.resume.empty()) return usage();
+      continue;
+    }
     if (std::strncmp(argv[a], "--reuse=", 8) == 0) {
       if (std::strcmp(argv[a] + 8, "0") == 0) {
         reuse = false;
@@ -324,11 +368,16 @@ int main(int argc, char** argv) {
       cfg.leaves_per_node /= 2;
     }
   }
-  // The orchestrator runs on the sharded campaign driver; --hierarchy
-  // without --shards means the 1-shard (plain core) execution of it.
-  if (hierarchy_flag && shards == 0) shards = 1;
+  // The orchestrator and the checkpoint driver run on the sharded campaign
+  // path; --hierarchy / --checkpoint* without --shards mean the 1-shard
+  // (plain core) execution of it. A --checkpoint without an explicit
+  // cadence checkpoints every 20 simulated seconds.
+  const bool ck_flag =
+      ck.every_secs > 0.0 || !ck.checkpoint.empty() || !ck.resume.empty();
+  if (ck_flag && ck.every_secs <= 0.0) ck.every_secs = 20.0;
+  if ((hierarchy_flag || ck_flag) && shards == 0) shards = 1;
   if (shards > 0) return run_sharded(cfg, shards, mode, replan_interval,
-                                     reuse);
+                                     reuse, ck);
 
   std::printf(
       "Mega campaign: %zu mobile clients, %zu nodes, %zu rounds x %zu "

@@ -89,6 +89,18 @@ class CampaignPlanner {
   /// claim limit cut the activation short of the plan).
   void set_current(std::size_t g, std::uint32_t leaves);
 
+  /// Restore a checkpointed group slot bit-exactly (EWMA value, its
+  /// initialized flag, the applied leaf count and the re-plan counter) —
+  /// the carried estimate is what sizes the next round's initial tree, so
+  /// a resumed campaign must plan from the identical bits.
+  void restore_group(std::size_t g, double estimate, bool initialized,
+                     std::uint32_t leaves, std::uint64_t replans) {
+    GroupState& s = groups_.at(g);
+    s.est.restore(estimate, initialized);
+    s.leaves = leaves;
+    s.replans = replans;
+  }
+
   std::uint32_t current(std::size_t g) const { return groups_.at(g).leaves; }
   double estimate(std::size_t g) const { return groups_.at(g).est.value(); }
   bool estimate_initialized(std::size_t g) const {

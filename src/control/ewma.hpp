@@ -39,6 +39,14 @@ class Ewma {
     initialized_ = false;
   }
 
+  /// Restore a checkpointed slot bit-exactly (the smoothed value is a
+  /// floating-point recurrence; replaying observations would not recover
+  /// the identical bits).
+  void restore(double value, bool initialized) noexcept {
+    value_ = value;
+    initialized_ = initialized;
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;

@@ -28,6 +28,15 @@ class Broker {
     bytes_buffered_ -= std::min(bytes_buffered_, bytes);
   }
 
+  /// Restore checkpointed counters verbatim.
+  void restore(std::size_t bytes_buffered, std::size_t peak_bytes,
+               std::uint64_t total_bytes, std::uint64_t messages) noexcept {
+    bytes_buffered_ = bytes_buffered;
+    peak_bytes_ = peak_bytes;
+    total_bytes_ = total_bytes;
+    messages_ = messages;
+  }
+
   std::size_t bytes_buffered() const noexcept { return bytes_buffered_; }
   std::size_t peak_bytes() const noexcept { return peak_bytes_; }
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }

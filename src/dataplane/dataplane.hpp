@@ -148,6 +148,13 @@ class DataPlane {
   /// Total intra-node update hand-offs served by shared memory.
   std::uint64_t shm_deliveries() const noexcept { return shm_deliveries_; }
 
+  /// Restore checkpointed transfer counters verbatim.
+  void restore_transfer_counters(std::uint64_t inter_node_bytes,
+                                 std::uint64_t shm_deliveries) noexcept {
+    inter_node_bytes_ = inter_node_bytes;
+    shm_deliveries_ = shm_deliveries;
+  }
+
  private:
   void deliver(sim::NodeId dst_node, fl::ParticipantId dst,
                fl::ModelUpdate update, sim::Task done);

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace lifl::dp {
 
@@ -37,6 +40,20 @@ class MetricsMap {
   }
 
   std::size_t size() const noexcept { return values_.size(); }
+
+  /// Deterministic (key-sorted) view of the map, for checkpoint encoding.
+  std::vector<std::pair<std::string, double>> sorted_entries() const {
+    std::vector<std::pair<std::string, double>> out(values_.begin(),
+                                                    values_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Replace the map's contents with a checkpointed view.
+  void restore(const std::vector<std::pair<std::string, double>>& entries) {
+    values_.clear();
+    for (const auto& kv : entries) values_[kv.first] = kv.second;
+  }
 
  private:
   std::unordered_map<std::string, double> values_;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -85,9 +86,26 @@ class UpdatePool {
 
   std::size_t depth() const noexcept { return entries_.size(); }
   std::size_t waiter_count() const noexcept { return waiters_.size(); }
+  std::size_t depth_watcher_count() const noexcept {
+    return depth_watchers_.size();
+  }
   std::size_t max_depth() const noexcept { return max_depth_; }
   std::uint64_t total_pushed() const noexcept { return total_pushed_; }
   double total_queueing_delay() const noexcept { return total_delay_; }
+
+  /// Restore checkpointed counters onto an idle pool (nothing buffered, no
+  /// waiters or depth watchers parked); throws std::logic_error otherwise.
+  /// The delay accumulator is a floating-point running sum and restores
+  /// verbatim so post-resume accumulation stays bitwise identical.
+  void restore_stats(std::size_t max_depth, std::uint64_t total_pushed,
+                     double total_delay) {
+    if (!entries_.empty() || !waiters_.empty() || !depth_watchers_.empty()) {
+      throw std::logic_error("UpdatePool::restore_stats: pool is not idle");
+    }
+    max_depth_ = max_depth;
+    total_pushed_ = total_pushed;
+    total_delay_ = total_delay;
+  }
 
  private:
   struct Entry {

@@ -8,27 +8,36 @@ bool CheckpointManager::maybe_checkpoint(std::uint32_t version,
   if (cfg_.every_n_versions == 0 || version % cfg_.every_n_versions != 0) {
     return false;
   }
+  begin_write(version, model_bytes, std::move(on_persisted));
+  return true;
+}
+
+void CheckpointManager::begin_write(std::uint32_t version, std::size_t bytes,
+                                    std::function<void()> on_persisted) {
   ++in_flight_;
+  ++started_;
+  bytes_in_flight_ += bytes;
   sim::Node& node = cluster_.node(node_);
   const double marshal_cycles =
-      cfg_.marshal_cycles_per_byte * static_cast<double>(model_bytes);
+      cfg_.marshal_cycles_per_byte * static_cast<double>(bytes);
   const double write_secs =
-      static_cast<double>(model_bytes) / cfg_.storage_bytes_per_sec;
+      static_cast<double>(bytes) / cfg_.storage_bytes_per_sec;
   // Marshal on the node (billed, background priority), then the storage
   // write is pure latency off the node.
   node.cores().acquire(
       marshal_cycles / node.config().cpu_hz,
-      [this, &node, marshal_cycles, write_secs, version,
+      [this, &node, marshal_cycles, write_secs, version, bytes,
        done = std::move(on_persisted)]() mutable {
         node.cpu().add(sim::CostTag::kCheckpoint, marshal_cycles);
         cluster_.sim().schedule_after(
-            write_secs, [this, version, done = std::move(done)]() {
+            write_secs, [this, version, bytes, done = std::move(done)]() {
               persisted_.push_back(version);
               --in_flight_;
+              bytes_in_flight_ -= bytes;
+              bytes_written_ += bytes;
               if (done) done();
             });
       });
-  return true;
 }
 
 }  // namespace lifl::fl

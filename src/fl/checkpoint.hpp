@@ -10,10 +10,12 @@
 
 namespace lifl::fl {
 
-/// Asynchronous model checkpointing (Appendix B): after the aggregator
-/// finishes a round, the agent persists the global model to an external
-/// storage service in the background, so checkpoint latency never lands on
-/// the aggregation completion time.
+/// Asynchronous checkpointing (Appendix B): after the aggregator finishes a
+/// round, the agent persists the global model to an external storage
+/// service in the background, so checkpoint latency never lands on the
+/// aggregation completion time. The same cost model also prices campaign
+/// *state* snapshots (sys::CampaignCheckpoint): marshalling bills CPU on
+/// the node, the storage write is pure latency off it.
 class CheckpointManager {
  public:
   struct Config {
@@ -34,6 +36,13 @@ class CheckpointManager {
   bool maybe_checkpoint(std::uint32_t version, std::size_t model_bytes,
                         std::function<void()> on_persisted = {});
 
+  /// Unconditionally start a checkpoint write of `bytes` (cadence already
+  /// decided by the caller — e.g. the campaign's snapshot marks): marshal
+  /// on the node's cores (billed as CostTag::kCheckpoint), then the storage
+  /// write as pure latency. `on_persisted` fires at durability.
+  void begin_write(std::uint32_t version, std::size_t bytes,
+                   std::function<void()> on_persisted = {});
+
   /// Versions persisted so far, in completion order.
   const std::vector<std::uint32_t>& persisted() const noexcept {
     return persisted_;
@@ -41,6 +50,12 @@ class CheckpointManager {
 
   /// Checkpoints started but not yet durable.
   std::uint32_t in_flight() const noexcept { return in_flight_; }
+  /// Checkpoint writes started so far (durable or not).
+  std::uint64_t started() const noexcept { return started_; }
+  /// Bytes of checkpoints that have reached durability.
+  std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+  /// Bytes of checkpoints started but not yet durable.
+  std::uint64_t bytes_in_flight() const noexcept { return bytes_in_flight_; }
 
  private:
   sim::Cluster& cluster_;
@@ -48,6 +63,9 @@ class CheckpointManager {
   Config cfg_;
   std::vector<std::uint32_t> persisted_;
   std::uint32_t in_flight_ = 0;
+  std::uint64_t started_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_in_flight_ = 0;
 };
 
 }  // namespace lifl::fl

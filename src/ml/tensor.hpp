@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/sim/random.hpp"
+#include "src/sim/snapshot.hpp"
 
 namespace lifl::ml {
 
@@ -58,5 +59,19 @@ class Tensor {
  private:
   std::vector<float> data_;
 };
+
+/// Bit-exact tensor snapshot: the raw float payload, length-prefixed. Every
+/// IEEE bit pattern (NaNs, signed zeros, denormals) round-trips verbatim —
+/// see tests/snapshot_test.cpp.
+inline void save(sim::Serializer& s, const Tensor& t) {
+  s.u64(t.size());
+  s.raw(t.data(), t.bytes());
+}
+
+inline void load(sim::Deserializer& d, Tensor& t) {
+  const std::uint64_t n = d.u64();
+  t = Tensor(static_cast<std::size_t>(n));
+  d.raw(t.data(), t.bytes());
+}
 
 }  // namespace lifl::ml

@@ -141,6 +141,23 @@ class ObjectStore {
 
   const ObjectStoreStats& stats() const noexcept { return stats_; }
 
+  /// Key-generator state, for checkpointing.
+  sim::Rng::State rng_state() const noexcept { return rng_.state(); }
+
+  /// Restore a checkpointed generator + statistics onto a *quiescent* store
+  /// (no live objects — every lease released); throws std::logic_error
+  /// otherwise. Live entries hold process-local shared_ptrs and cannot
+  /// survive a process boundary, which is exactly why snapshots are taken
+  /// at quiescent points.
+  void restore(const sim::Rng::State& rng, const ObjectStoreStats& stats) {
+    if (!objects_.empty()) {
+      throw std::logic_error(
+          "ObjectStore::restore: store holds live objects");
+    }
+    rng_.restore(rng);
+    stats_ = stats;
+  }
+
  private:
   struct Entry {
     std::shared_ptr<const void> data;

@@ -74,6 +74,17 @@ class CpuAccountant {
     total_ = 0.0;
   }
 
+  /// Restore a checkpointed ledger bit-exactly. The running total is a
+  /// floating-point sum whose value depends on the order of `add` calls, so
+  /// it is restored verbatim rather than recomputed from the per-tag array.
+  void restore(
+      const std::array<double, static_cast<std::size_t>(CostTag::kCount)>&
+          cycles,
+      double total) noexcept {
+    cycles_ = cycles;
+    total_ = total;
+  }
+
  private:
   std::array<double, static_cast<std::size_t>(CostTag::kCount)> cycles_{};
   double total_ = 0.0;

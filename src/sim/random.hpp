@@ -136,6 +136,29 @@ class Rng {
     }
   }
 
+  /// Complete generator state, for checkpointing. Restoring it resumes the
+  /// stream bit-exactly — including the cached Box-Muller spare, which is
+  /// part of the observable sequence of `normal()` draws.
+  struct State {
+    std::uint64_t s[4];
+    double spare;
+    bool has_spare;
+  };
+
+  State state() const noexcept {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.spare = spare_;
+    st.has_spare = has_spare_;
+    return st;
+  }
+
+  void restore(const State& st) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    spare_ = st.spare;
+    has_spare_ = st.has_spare;
+  }
+
   /// Symmetric Dirichlet(alpha) over `k` categories; returns a probability
   /// vector. Used for non-IID label-skew partitioning of federated data.
   std::vector<double> dirichlet(double alpha, std::size_t k) noexcept {

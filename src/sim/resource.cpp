@@ -1,6 +1,7 @@
 #include "src/sim/resource.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace lifl::sim {
@@ -93,6 +94,18 @@ void Resource::reset_stats() noexcept {
   total_wait_ = 0.0;
   completed_ = 0;
   stats_epoch_ = sim_.now();
+}
+
+void Resource::restore_stats_image(const StatsImage& img) {
+  if (busy_ != 0 || !queue_.empty()) {
+    throw std::logic_error("Resource::restore_stats_image(" + name_ +
+                           "): resource is not idle");
+  }
+  busy_integral_ = img.busy_integral;
+  total_wait_ = img.total_wait;
+  last_change_ = img.last_change;
+  stats_epoch_ = img.stats_epoch;
+  completed_ = img.completed;
 }
 
 // ---------------------------------------------------------------------------

@@ -63,6 +63,25 @@ class Resource {
   /// Reset statistics (not the queue/in-service jobs).
   void reset_stats() noexcept;
 
+  /// Checkpoint image of the cumulative statistics. The accumulators are
+  /// floating-point running sums, so restoring them bit-exactly (rather
+  /// than replaying per-job additions in a different order) is what keeps
+  /// `busy_time()` et al. bitwise identical after a resume.
+  struct StatsImage {
+    double busy_integral = 0.0;
+    double total_wait = 0.0;
+    double last_change = 0.0;
+    double stats_epoch = 0.0;
+    std::uint64_t completed = 0;
+  };
+  StatsImage stats_image() const noexcept {
+    return StatsImage{busy_integral_, total_wait_, last_change_,
+                      stats_epoch_, completed_};
+  }
+  /// Restore a checkpointed image onto an *idle* resource (no job in
+  /// service, empty queue); throws std::logic_error otherwise.
+  void restore_stats_image(const StatsImage& img);
+
  private:
   struct Job {
     SimTime service;

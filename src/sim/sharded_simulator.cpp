@@ -112,10 +112,33 @@ void ShardedSimulator::run_shard_window(std::size_t s) {
   }
 }
 
+ShardedSimulator::~ShardedSimulator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ShardedSimulator::ensure_workers() {
+  if (!workers_.empty()) return;
+  // Workers are spawned once, on the first multi-shard run, and persist
+  // parked on the epoch wait between runs; epoch_ may already be nonzero,
+  // so the coordinator captures the baseline *before* spawning and hands
+  // it over — reading epoch_ in the worker would race with the first
+  // window's bump.
+  const std::uint64_t base_epoch = epoch_.load(std::memory_order_acquire);
+  const std::size_t k = shards_.size();
+  workers_.reserve(k - 1);
+  for (std::size_t s = 1; s < k; ++s) {
+    workers_.emplace_back([this, s, base_epoch] {
+      worker_loop(s, base_epoch);
+    });
+  }
+}
+
 void ShardedSimulator::worker_loop(std::size_t s, std::uint64_t base_epoch) {
-  // Workers are (re)spawned per run(); epoch_ persists across runs, so the
-  // coordinator captures the baseline *before* spawning and hands it over —
-  // reading epoch_ here would race with the first window's bump.
   std::uint64_t seen = base_epoch;
   for (;;) {
     // Wait for the next window (or shutdown).
@@ -144,23 +167,32 @@ void ShardedSimulator::worker_loop(std::size_t s, std::uint64_t base_epoch) {
 }
 
 std::uint64_t ShardedSimulator::run() {
+  return run_impl(std::numeric_limits<SimTime>::infinity());
+}
+
+std::uint64_t ShardedSimulator::run_to(SimTime mark) {
+  return run_impl(mark);
+}
+
+std::uint64_t ShardedSimulator::run_impl(SimTime mark) {
+  const bool bounded = mark != std::numeric_limits<SimTime>::infinity();
   const std::uint64_t before = dispatched();
   const std::size_t k = shards_.size();
   if (k == 1) {
     // Deterministic single-shard mode: the plain single-threaded core, bit
     // identical to an unsharded `Simulator` (mailboxes are never used —
-    // same-shard posts schedule directly).
-    shards_[0].sim->run();
-    return shards_[0].sim->dispatched() - before;
+    // same-shard posts schedule directly). A bounded run dispatches the
+    // strict-< prefix of the same sequence.
+    Simulator& s0 = *shards_[0].sim;
+    if (!bounded) {
+      s0.run();
+    } else if (s0.pending_regular() > 0) {
+      s0.run_window(mark);
+    }
+    return s0.dispatched() - before;
   }
 
-  stop_.store(false, std::memory_order_release);
-  const std::uint64_t base_epoch = epoch_.load(std::memory_order_acquire);
-  std::vector<std::thread> workers;
-  workers.reserve(k - 1);
-  for (std::size_t s = 1; s < k; ++s) {
-    workers.emplace_back([this, s, base_epoch] { worker_loop(s, base_epoch); });
-  }
+  ensure_workers();
 
   for (;;) {
     if (failed_.load(std::memory_order_acquire)) break;
@@ -174,6 +206,11 @@ std::uint64_t ShardedSimulator::run() {
       t_min = std::min(t_min, cell.sim->next_event_time());
     }
     if (t_min == std::numeric_limits<SimTime>::infinity()) break;
+    // Bounded run: pause at the barrier once every pending event sits at or
+    // beyond the mark. The next `run_impl` call recomputes the identical
+    // horizon, so the window sequence — and with it the event order — is
+    // the same whether or not the run was paused here.
+    if (bounded && t_min >= mark) break;
     window_end_ = t_min + lookahead_;
     ++windows_;
 
@@ -198,12 +235,8 @@ std::uint64_t ShardedSimulator::run() {
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_.store(true, std::memory_order_release);
-  }
-  cv_.notify_all();
-  for (auto& w : workers) w.join();
+  // Workers stay parked on the epoch wait for the next run; the
+  // destructor stops and joins them.
   if (failed_.load(std::memory_order_acquire)) {
     std::exception_ptr err;
     {

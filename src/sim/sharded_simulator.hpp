@@ -7,6 +7,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/sim/calibration.hpp"
@@ -66,7 +67,7 @@ class ShardedSimulator {
   explicit ShardedSimulator(Config cfg);
   ShardedSimulator(const ShardedSimulator&) = delete;
   ShardedSimulator& operator=(const ShardedSimulator&) = delete;
-  ~ShardedSimulator() = default;
+  ~ShardedSimulator();
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
   SimTime lookahead() const noexcept { return lookahead_; }
@@ -89,6 +90,21 @@ class ShardedSimulator {
   /// mailboxes are empty. Returns the number of events dispatched across
   /// all shards during this call. Only the coordinator thread may call it.
   std::uint64_t run();
+
+  /// Run like `run()` but stop at the first quiescent point — a window
+  /// barrier (K > 1) or the dispatch loop (K = 1) — at which every pending
+  /// event is at or beyond `mark`. Pausing is *bit-transparent*: the window
+  /// horizons depend only on next-event times, so interleaving `run_to`
+  /// calls (and a final `run()`) dispatches exactly the event sequence an
+  /// uninterrupted `run()` would — the property campaign checkpointing
+  /// rests on. Two caveats, both inherited from the window protocol: with
+  /// K > 1 a window whose horizon straddles the mark finishes (a handful of
+  /// events at/after `mark` may run before the pause), and in K = 1 mode
+  /// daemon events below the mark run even past the last regular event
+  /// (plain `run()` would stop at it) — models that keep cross-K
+  /// equivalence must not let daemon tails feed measured state, as already
+  /// required by `run()`.
+  std::uint64_t run_to(SimTime mark);
 
   /// Total events dispatched across all shards so far.
   std::uint64_t dispatched() const;
@@ -128,6 +144,14 @@ class ShardedSimulator {
   Mailbox& mailbox(std::size_t src, std::size_t dst) {
     return mail_[src * shards_.size() + dst];
   }
+  /// Shared body of `run` / `run_to`: windows stop once the minimum next
+  /// event time reaches `mark` (+infinity for an unbounded run).
+  std::uint64_t run_impl(SimTime mark);
+  /// Spawn the K-1 worker threads on first multi-shard use; they persist —
+  /// parked on the epoch wait — across run/run_to calls (a mark-sliced
+  /// checkpointed round would otherwise pay a thread create/join per
+  /// slice) and are joined by the destructor.
+  void ensure_workers();
   /// Sort all mailboxes by (t, src, seq) and schedule into the targets.
   void drain_mailboxes();
   std::size_t mail_pending() const;
@@ -143,6 +167,7 @@ class ShardedSimulator {
   std::vector<ShardCell> shards_;
   std::vector<Mailbox> mail_;
   std::vector<CrossEvent> drain_scratch_;
+  std::vector<std::thread> workers_;
   std::uint64_t windows_ = 0;
 
   // ---- window barrier (used only when shard_count() > 1) --------------

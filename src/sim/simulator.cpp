@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 #include <utility>
 
 namespace lifl::sim {
@@ -296,6 +297,20 @@ std::size_t Simulator::run_window(SimTime end) {
   std::size_t n = 0;
   while (dispatch_next(end, /*bounded=*/true, /*strict=*/true)) ++n;
   return n;
+}
+
+void Simulator::restore_clock(SimTime t, std::uint64_t dispatched) {
+  if (pending_ != 0) {
+    throw std::logic_error(
+        "Simulator::restore_clock: events are pending; the clock can only "
+        "be restored onto an idle core");
+  }
+  if (t < now_) {
+    throw std::logic_error(
+        "Simulator::restore_clock: the clock cannot move backwards");
+  }
+  now_ = t;
+  dispatched_ = dispatched;
 }
 
 SimTime Simulator::next_event_time() {

@@ -108,6 +108,16 @@ class Simulator {
   /// the front, but never dispatches and never advances the clock.
   SimTime next_event_time();
 
+  /// Restore a checkpointed clock onto an idle simulator: sets `now()` and
+  /// the dispatched total so a rebuilt model resumes at its snapshot time.
+  /// Only legal while no events are pending (a fresh core, or one that has
+  /// fully drained) and the clock does not move backwards; the calendar
+  /// re-anchors itself on the restored time at its next build. The sequence
+  /// counter is deliberately left alone: FIFO tie-breaking depends only on
+  /// the *relative* order of schedule calls, which a deterministic replay
+  /// reproduces.
+  void restore_clock(SimTime t, std::uint64_t dispatched);
+
   /// Number of pending (non-cancelled) events, daemons included.
   std::size_t pending() const noexcept { return pending_; }
 

@@ -1,0 +1,237 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/sim/random.hpp"
+
+namespace lifl::sim {
+
+/// Error raised by snapshot readers on any malformed blob: truncation,
+/// magic/version mismatch, or a section tag that does not match the
+/// expected layout. Deliberately a distinct type so callers can tell a
+/// corrupt checkpoint apart from ordinary logic errors and refuse to
+/// resume instead of crashing into undefined behavior.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only binary writer for checkpoint blobs.
+///
+/// The format is host-endian and host-width (a snapshot is a crash-restart
+/// artifact for the machine that wrote it, not an interchange format):
+/// integers are fixed-width little-endian-as-stored, doubles are raw IEEE
+/// bit patterns (so NaN payloads, signed zeros and denormals round-trip
+/// bit-exactly), strings and vectors are length-prefixed, and every
+/// `begin_section`/`end_section` pair wraps its payload in a
+/// {u32 tag, u64 byte length} frame the reader validates before touching
+/// the contents.
+class Serializer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  /// Raw IEEE-754 bits: round-trips every value bit-exactly, NaNs included.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+
+  /// Length-prefixed vector of a trivially copyable element type.
+  template <typename T>
+  void pod_vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "pod_vec needs a trivially copyable element");
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(T));
+  }
+
+  void raw(const void* data, std::size_t n) {
+    if (n == 0) return;  // empty payloads may carry a null pointer
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  /// Open a {tag, length} framed section; the length field is patched when
+  /// the matching `end_section` runs. Sections may nest.
+  void begin_section(std::uint32_t tag) {
+    u32(tag);
+    open_.push_back(buf_.size());
+    u64(0);  // placeholder length
+  }
+
+  void end_section() {
+    const std::size_t at = open_.back();
+    open_.pop_back();
+    const std::uint64_t len = buf_.size() - (at + sizeof(std::uint64_t));
+    std::memcpy(buf_.data() + at, &len, sizeof len);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::vector<std::size_t> open_;
+};
+
+/// Bounds-checked reader for blobs produced by `Serializer`. Every read
+/// verifies the remaining byte count first and throws `SnapshotError` on a
+/// short blob, so a truncated or bit-rotted checkpoint is rejected with a
+/// clear message instead of reading past the buffer.
+class Deserializer {
+ public:
+  Deserializer(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Deserializer(const std::vector<std::uint8_t>& buf)
+      : Deserializer(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[at_++];
+  }
+  bool boolean() { return u8() != 0; }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + at_),
+                  static_cast<std::size_t>(n));
+    at_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> pod_vec() {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "pod_vec needs a trivially copyable element");
+    const std::uint64_t n = u64();
+    // Guard the multiplication: a corrupt count must not wrap to a small
+    // byte total and pass the bounds check (or drive a huge allocation).
+    if (n > remaining() / sizeof(T)) {
+      throw SnapshotError("snapshot truncated: vector count " +
+                          std::to_string(n) + " exceeds remaining bytes");
+    }
+    const std::uint64_t bytes = n * sizeof(T);
+    need(bytes);
+    std::vector<T> v(static_cast<std::size_t>(n));
+    raw(v.data(), static_cast<std::size_t>(bytes));
+    return v;
+  }
+
+  void raw(void* out, std::size_t n) {
+    if (n == 0) return;  // empty payloads may carry a null pointer
+    need(n);
+    std::memcpy(out, data_ + at_, n);
+    at_ += n;
+  }
+
+  /// Read a section frame and verify the tag; the recorded length must fit
+  /// in the remaining bytes. `end_section` then checks the payload was
+  /// consumed exactly — a reader/writer layout drift surfaces as a
+  /// SnapshotError at the first mismatched section, not as garbage reads.
+  void expect_section(std::uint32_t tag) {
+    const std::uint32_t got = u32();
+    if (got != tag) {
+      throw SnapshotError("snapshot section mismatch: expected tag " +
+                          std::to_string(tag) + ", found " +
+                          std::to_string(got));
+    }
+    const std::uint64_t len = u64();
+    need(len);
+    ends_.push_back(at_ + static_cast<std::size_t>(len));
+  }
+
+  void end_section() {
+    const std::size_t end = ends_.back();
+    ends_.pop_back();
+    if (at_ != end) {
+      throw SnapshotError(
+          "snapshot section length mismatch: " +
+          std::to_string(end > at_ ? end - at_ : at_ - end) + " byte(s) " +
+          (end > at_ ? "unread" : "over-read"));
+    }
+  }
+
+  std::size_t remaining() const noexcept { return size_ - at_; }
+  bool at_end() const noexcept { return at_ == size_; }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > size_ - at_) {
+      throw SnapshotError("snapshot truncated: need " + std::to_string(n) +
+                          " byte(s) at offset " + std::to_string(at_) +
+                          ", " + std::to_string(size_ - at_) + " remain");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t at_ = 0;
+  std::vector<std::size_t> ends_;
+};
+
+// ------------------------------------------------------ typed serializers
+
+/// RNG stream state: the full xoshiro state plus the cached Box-Muller
+/// spare — the single definition of the serialized layout, so a future
+/// field lands in exactly one place.
+inline void save(Serializer& s, const Rng::State& st) {
+  for (const std::uint64_t w : st.s) s.u64(w);
+  s.f64(st.spare);
+  s.boolean(st.has_spare);
+}
+
+inline Rng::State load_rng_state(Deserializer& d) {
+  Rng::State st;
+  for (std::uint64_t& w : st.s) w = d.u64();
+  st.spare = d.f64();
+  st.has_spare = d.boolean();
+  return st;
+}
+
+/// A restored generator continues the stream bit-exactly.
+inline void save(Serializer& s, const Rng& rng) { save(s, rng.state()); }
+
+inline void load(Deserializer& d, Rng& rng) {
+  rng.restore(load_rng_state(d));
+}
+
+}  // namespace lifl::sim

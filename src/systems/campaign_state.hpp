@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/control/campaign_planner.hpp"
+#include "src/dataplane/dataplane.hpp"
+#include "src/fl/aggregator_runtime.hpp"
+#include "src/fl/checkpoint.hpp"
+#include "src/sim/node.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/sharded_simulator.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/systems/sharded_campaign.hpp"
+#include "src/systems/streaming_hierarchy.hpp"
+#include "src/workload/population.hpp"
+
+namespace lifl::sys::detail {
+
+/// One node group of the sharded mega-campaign: a single-node cluster with
+/// its own LIFL data plane, arrival process and population slice. All
+/// fields are touched only by the shard the group maps to (or by the
+/// coordinator between rounds). Shared between the campaign driver
+/// (sharded_campaign.cpp) and the checkpoint subsystem
+/// (campaign_checkpoint.cpp), which snapshots/restores the cross-round
+/// durable fields — everything else is re-armed per round.
+struct Group {
+  std::size_t id = 0;
+  std::size_t shard = 0;
+  sim::Simulator* sim = nullptr;
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<dp::DataPlane> plane;
+  wl::ClientPopulation population;
+  std::unique_ptr<wl::ArrivalProcess> arrivals;
+  sim::Rng rng{0};
+  std::vector<std::unique_ptr<fl::AggregatorRuntime>> aggs;  ///< fixed mode
+  std::unique_ptr<StreamingHierarchy> hier;                  ///< planned mode
+
+  // Open-loop arrival chain state for the current round (one pending
+  // arrival event at a time, profiles derived lazily per index).
+  double epoch = 0.0;
+  double next_rel = 0.0;
+  std::uint64_t launched = 0;
+  std::uint64_t target = 0;
+  std::uint64_t participant_counter = 0;
+  std::uint32_t round = 0;
+  std::uint64_t total_uploads = 0;
+};
+
+/// Whole-campaign runtime state, owned by `run_sharded_campaign` for the
+/// duration of one call.
+struct CampaignState {
+  const ShardedCampaignConfig* cfg = nullptr;
+  sim::ShardedSimulator* sharded = nullptr;
+  std::vector<Group> groups;
+  std::unique_ptr<ctrl::CampaignPlanner> planner;  ///< planned mode
+  std::unique_ptr<fl::AggregatorRuntime> top_rt;   ///< planned: reused
+  fl::AggregatorRuntime* top = nullptr;  ///< current round's top (group 0)
+  bool round_done = false;
+  double completed_at = -1.0;
+  std::uint64_t round_samples = 0;
+
+  // ---- checkpointing ---------------------------------------------------
+  /// Snapshot persistence cost model, on group 0's node (Appendix B path).
+  std::unique_ptr<fl::CheckpointManager> ckpt;
+  /// Marks billed in-sim so far (serialized into every snapshot, so a
+  /// resumed campaign reports the uninterrupted total).
+  std::uint64_t ckpt_marks = 0;
+  /// Size the in-sim pulse bills per mark: the current round's boundary
+  /// image plus the cut trailer — identical on replay because the boundary
+  /// encoding is deterministic.
+  std::size_t ckpt_blob_bytes = 0;
+};
+
+}  // namespace lifl::sys::detail

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -14,12 +15,17 @@
 #include "src/sim/node.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/sharded_simulator.hpp"
+#include "src/systems/campaign_checkpoint.hpp"
+#include "src/systems/campaign_state.hpp"
 #include "src/systems/streaming_hierarchy.hpp"
 #include "src/workload/population.hpp"
 
 namespace lifl::sys {
 
 namespace calib = sim::calib;
+
+using detail::CampaignState;
+using detail::Group;
 
 namespace {
 
@@ -33,46 +39,6 @@ double cross_latency_secs(std::size_t bytes) {
          static_cast<double>(bytes) / calib::kNicBytesPerSec +
          calib::kKernelFixedCycles / calib::kCpuHz;
 }
-
-struct CampaignState;
-
-/// One node group: a single-node cluster with its own data plane, arrival
-/// process and population slice. All fields are touched only by the shard
-/// the group maps to (or by the coordinator between rounds).
-struct Group {
-  std::size_t id = 0;
-  std::size_t shard = 0;
-  sim::Simulator* sim = nullptr;
-  std::unique_ptr<sim::Cluster> cluster;
-  std::unique_ptr<dp::DataPlane> plane;
-  wl::ClientPopulation population;
-  std::unique_ptr<wl::ArrivalProcess> arrivals;
-  sim::Rng rng{0};
-  std::vector<std::unique_ptr<fl::AggregatorRuntime>> aggs;  ///< fixed mode
-  std::unique_ptr<StreamingHierarchy> hier;                  ///< planned mode
-
-  // Open-loop arrival chain state for the current round (one pending
-  // arrival event at a time, profiles derived lazily per index).
-  double epoch = 0.0;
-  double next_rel = 0.0;
-  std::uint64_t launched = 0;
-  std::uint64_t target = 0;
-  std::uint64_t participant_counter = 0;
-  std::uint32_t round = 0;
-  std::uint64_t total_uploads = 0;
-};
-
-struct CampaignState {
-  const ShardedCampaignConfig* cfg = nullptr;
-  sim::ShardedSimulator* sharded = nullptr;
-  std::vector<Group> groups;
-  std::unique_ptr<ctrl::CampaignPlanner> planner;  ///< planned mode
-  std::unique_ptr<fl::AggregatorRuntime> top_rt;   ///< planned: reused
-  fl::AggregatorRuntime* top = nullptr;  ///< current round's top (group 0)
-  bool round_done = false;
-  double completed_at = -1.0;
-  std::uint64_t round_samples = 0;
-};
 
 /// Injects one relayed group aggregate into the top aggregator. Runs on the
 /// top's shard; the update was detached from its source group (no lease, no
@@ -123,6 +89,31 @@ struct ArrivalFn {
     g->sim->schedule_at(g->epoch + g->next_rel, ArrivalFn{st, g});
   }
 };
+
+/// In-sim snapshot cost pulse: fires at every mark of the global
+/// k·checkpoint_every_secs grid while the round is active, billing the
+/// CheckpointManager cost model (marshal CPU on group 0's node, storage
+/// latency off it) with the size the blob for this round will have. Riding
+/// the event queue — not the coordinator's pause barriers — makes the
+/// billing times exact grid points, identical for every shard count and
+/// identical under resume-replay. The chain ends itself once the round
+/// completed (one trailing no-op fire at the next mark).
+struct CkptPulse {
+  CampaignState* st;
+  double at;
+  void operator()() const {
+    if (st->round_done) return;
+    st->ckpt->begin_write(st->groups[0].round, st->ckpt_blob_bytes);
+    ++st->ckpt_marks;
+    const double next = at + st->cfg->checkpoint_every_secs;
+    st->groups[0].sim->schedule_at(next, CkptPulse{st, next});
+  }
+};
+
+/// First point of the global mark grid strictly after `t`.
+double first_mark_after(double t, double every) {
+  return every * (std::floor(t / every) + 1.0);
+}
 
 /// Apply the configured cold-start model to a to-be-spawned runtime.
 void spawn_cold(fl::AggregatorRuntime::Config& c,
@@ -191,6 +182,11 @@ std::uint64_t arm_fixed_round(CampaignState& st, std::uint32_t round) {
   return spawned;
 }
 
+double wall_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
@@ -199,6 +195,22 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
   }
   const auto wall0 = std::chrono::steady_clock::now();
   const bool planned = cfg.hierarchy == HierarchyMode::kPlanned;
+  const bool ck = cfg.checkpoint_every_secs > 0.0;
+  const bool resume = cfg.resume_blob != nullptr || !cfg.resume_path.empty();
+  if (resume && !ck) {
+    throw std::invalid_argument(
+        "sharded campaign: resume requires the checkpoint_every_secs the "
+        "blob was cut under (the config digest enforces equality)");
+  }
+  if (!ck && (!cfg.checkpoint_path.empty() || cfg.on_checkpoint)) {
+    throw std::invalid_argument(
+        "sharded campaign: checkpoint_path/on_checkpoint need "
+        "checkpoint_every_secs > 0 — no blobs would ever be emitted");
+  }
+  if (ck && !std::isfinite(cfg.checkpoint_every_secs)) {
+    throw std::invalid_argument(
+        "sharded campaign: checkpoint_every_secs must be finite");
+  }
 
   sim::ShardedSimulator::Config scfg;
   scfg.shards = cfg.shards;
@@ -266,7 +278,25 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
 
   ShardedCampaignResult result;
 
-  for (std::uint32_t round = 1; round <= cfg.rounds; ++round) {
+  // ---- resume: apply the blob's round-boundary image onto the freshly
+  // built world, then deterministically re-execute the in-progress round up
+  // to the cut mark (write suppression below) — which re-materializes every
+  // in-flight event bit-exactly. See src/systems/campaign_checkpoint.hpp.
+  CheckpointCut cut;
+  if (resume) {
+    const std::vector<std::uint8_t> blob =
+        cfg.resume_blob != nullptr ? *cfg.resume_blob
+                                   : CampaignCheckpoint::read_file(
+                                         cfg.resume_path);
+    cut = CampaignCheckpoint::restore(blob, st, result);
+  }
+  if (ck) {
+    st.ckpt = std::make_unique<fl::CheckpointManager>(*st.groups[0].cluster,
+                                                      0, cfg.checkpoint_cost);
+  }
+
+  for (std::uint32_t round = resume ? cut.round : 1; round <= cfg.rounds;
+       ++round) {
     // Round epoch: the latest group clock — identical for every shard
     // count (each group's event times are shard-count independent).
     double epoch = 0.0;
@@ -276,6 +306,18 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     st.round_done = false;
     std::uint64_t spawned = 0;
     std::uint64_t reused = 0;
+
+    // The round's boundary image: the durable part of every snapshot this
+    // round emits. Encoding is deterministic, so a resume replaying this
+    // round re-derives the identical bytes (and billing size).
+    std::vector<std::uint8_t> boundary;
+    if (ck) {
+      const auto enc0 = std::chrono::steady_clock::now();
+      boundary = CampaignCheckpoint::encode_boundary(st, result, round);
+      result.checkpoint_encode_secs += wall_since(enc0);
+      st.ckpt_blob_bytes =
+          boundary.size() + CampaignCheckpoint::cut_trailer_bytes();
+    }
 
     if (planned) {
       // ---- streaming orchestrator: the coordinator plans at the round
@@ -322,7 +364,41 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     }
 
     // ---- run the round to completion across all shards.
-    sharded.run();
+    if (ck) {
+      // Snapshot marks: the in-sim pulse bills the cost model at exact grid
+      // points; the coordinator pauses at the same grid (bit-transparent —
+      // see ShardedSimulator::run_to) purely to emit blobs while the round
+      // is in flight. On resume-replay, marks at or before the cut are
+      // re-billed (the uninterrupted timeline paid them too) but their
+      // blobs are not re-emitted.
+      const double every = cfg.checkpoint_every_secs;
+      const double first = first_mark_after(epoch, every);
+      st.groups[0].sim->schedule_at(first, CkptPulse{&st, first});
+      double m = first;
+      for (;;) {
+        sharded.run_to(m);
+        if (st.round_done || sharded.pending_regular() == 0) break;
+        const bool replayed = resume && round == cut.round && m <= cut.mark;
+        if (!replayed) {
+          const auto enc0 = std::chrono::steady_clock::now();
+          const std::vector<std::uint8_t> blob =
+              CampaignCheckpoint::with_cut(boundary, m);
+          result.checkpoint_encode_secs += wall_since(enc0);
+          ++result.checkpoints_written;
+          result.checkpoint_bytes += blob.size();
+          if (!cfg.checkpoint_path.empty()) {
+            CampaignCheckpoint::write_file(cfg.checkpoint_path, blob);
+          }
+          if (cfg.on_checkpoint) cfg.on_checkpoint(blob, round, m);
+        }
+        m += every;
+      }
+      // Trailing drain: stragglers, in-flight checkpoint persistence, and
+      // the pulse's final (no-op) fire at the next mark.
+      sharded.run();
+    } else {
+      sharded.run();
+    }
     if (!st.round_done) {
       throw std::runtime_error("sharded campaign: round " +
                                std::to_string(round) + " did not complete");
@@ -372,10 +448,9 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
   result.events = sharded.dispatched();
   result.cross_posts = sharded.cross_posts();
   result.windows = sharded.windows();
+  result.checkpoint_marks = st.ckpt_marks;
   result.sim_secs = sim_end;
-  result.wall_secs = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - wall0)
-                         .count();
+  result.wall_secs = wall_since(wall0);
   return result;
 }
 

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "src/fl/aggregator_runtime.hpp"
+#include "src/fl/checkpoint.hpp"
 #include "src/sim/calibration.hpp"
 #include "src/sim/time.hpp"
 
@@ -69,6 +72,30 @@ struct ShardedCampaignConfig {
   /// modes; warm re-arms never do).
   bool cold_start_spawns = true;
 
+  // ---- checkpoint/restore (sys::CampaignCheckpoint) --------------------
+  /// Snapshot cadence on the *global simulated-time grid* k·every (0 =
+  /// off). Each crossed mark bills the CheckpointManager cost model in-sim
+  /// (marshal CPU on group 0's node + storage latency off it) and emits a
+  /// blob at the next quiescent barrier. Resuming from any emitted blob is
+  /// bitwise identical to the uninterrupted run — see
+  /// tests/campaign_checkpoint_test.cpp.
+  double checkpoint_every_secs = 0.0;
+  /// When set, the latest blob is kept at this path (atomic replace), so a
+  /// crashed campaign restarts from its most recent mark.
+  std::string checkpoint_path;
+  /// Optional in-process sink for every emitted blob (tests/benches): called
+  /// with the blob, the in-progress round, and the mark it cuts at.
+  std::function<void(const std::vector<std::uint8_t>&, std::uint32_t round,
+                     double mark)>
+      on_checkpoint;
+  /// Resume source: a blob file, or an in-memory blob (takes precedence).
+  /// The blob's config digest and shard count must match this config.
+  std::string resume_path;
+  const std::vector<std::uint8_t>* resume_blob = nullptr;
+  /// Cost model for the snapshot writes (cadence field is ignored — the
+  /// mark grid above decides when).
+  fl::CheckpointManager::Config checkpoint_cost;
+
   std::size_t uploads_per_round() const {
     return groups * leaves_per_group * updates_per_leaf;
   }
@@ -108,6 +135,16 @@ struct ShardedCampaignResult {
   std::uint64_t events = 0;       ///< dispatched across all shards
   std::uint64_t cross_posts = 0;  ///< cross-shard mailbox traffic
   std::uint64_t windows = 0;      ///< conservative-window barriers
+  /// Snapshot marks whose cost model was billed in-sim. Deterministic and
+  /// part of the snapshot itself, so a resumed run reports the same total
+  /// as the uninterrupted one.
+  std::uint64_t checkpoint_marks = 0;
+  /// Blobs this *process* emitted / their byte total / encode wall time.
+  /// Process-local by design: a resumed run does not re-emit the blobs the
+  /// pre-crash process already persisted.
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  double checkpoint_encode_secs = 0.0;
   double wall_secs = 0.0;
   double sim_secs = 0.0;          ///< final simulated time (max over groups)
 };

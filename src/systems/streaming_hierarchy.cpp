@@ -1,6 +1,7 @@
 #include "src/systems/streaming_hierarchy.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "src/sim/calibration.hpp"
@@ -300,6 +301,30 @@ void StreamingHierarchy::begin_round(std::uint32_t round,
                         cfg_.replan_interval,
                         [this] { return sampler_tick(); });
   }
+}
+
+void StreamingHierarchy::restore_warm(std::size_t pool_n, std::size_t slot_n,
+                                      const Stats& total) {
+  if (relay_ || !middles_.empty() || !slots_.empty() || !pool_.empty()) {
+    throw std::logic_error(
+        "StreamingHierarchy::restore_warm: engine is not fresh");
+  }
+  for (std::size_t i = 0; i < pool_n; ++i) {
+    // A warm sandbox with no role: never started, so nothing registers and
+    // no cold start runs — `rearm` gives it its first real config, exactly
+    // like a parked instance from an earlier round.
+    fl::AggregatorRuntime::Config pc;
+    pc.id = cfg_.leaf_base + i;
+    pc.node = cfg_.node;
+    pc.goal = 1;
+    pool_.push_back(
+        std::make_unique<fl::AggregatorRuntime>(plane_, std::move(pc)));
+  }
+  for (std::size_t i = 0; i < slot_n; ++i) {
+    slots_.push_back(std::make_unique<LeafSlot>());
+    slots_.back()->idx = i;
+  }
+  total_ = total;
 }
 
 void StreamingHierarchy::end_round() {

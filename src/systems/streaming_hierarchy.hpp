@@ -103,6 +103,18 @@ class StreamingHierarchy {
   /// the pool is dropped instead.
   void end_round();
 
+  /// Re-materialize the cross-round warm state from a checkpoint onto a
+  /// freshly constructed engine (coordinator thread, before any round):
+  /// `pool_n` parked warm runtimes, `slot_n` stable leaf slots, and the
+  /// cumulative stats. A parked runtime is stateless under `rearm`, so only
+  /// the pool *size* and the slot count (which pins leaf participant ids)
+  /// are needed to make the resumed rounds' spawn/reuse decisions — and
+  /// their telemetry — bitwise identical. The materialized instances are
+  /// not counted as spawns: their cold starts were paid (and billed) by the
+  /// run that wrote the checkpoint.
+  void restore_warm(std::size_t pool_n, std::size_t slot_n,
+                    const Stats& total);
+
   /// Apply a leaf-count target now (the re-plan pulse uses this; tests use
   /// it to force grow/shrink at chosen instants). Clamped to >= 1 while
   /// unclaimed work remains.
@@ -114,6 +126,9 @@ class StreamingHierarchy {
   const Stats& total_stats() const noexcept { return total_; }
   const Stats& round_stats() const noexcept { return round_; }
   std::size_t warm_pool_size() const noexcept { return pool_.size(); }
+  /// Stable leaf slots ever materialized (slot index pins the leaf's
+  /// participant id, so a checkpoint must carry it).
+  std::size_t leaf_slot_count() const noexcept { return slots_.size(); }
 
  private:
   /// Stable per-leaf slot: the runtime moves between the slot (active) and
