@@ -7,11 +7,23 @@
 // Paper anchors (70% accuracy):
 //   ResNet-18 : LIFL 0.9 h / 4.5 CPU-h, SF 1.4 h / 8 CPU-h, SL 2.4 h / 26
 //   ResNet-152: LIFL 1.9 h / 4.76 CPU-h, SF 2.2 h / 6.81, SL 3.2 h / 20.4
+//
+// Plus the async extension A/B: the same campaign run synchronously
+// (HierarchyMode::kPlanned, round barriers) and asynchronously
+// (HierarchyMode::kAsync, FedBuff buffers + FedAsync staleness weights)
+// under 30% stragglers. Emits BENCH_fig9_async.json; CI runs it in Release
+// and fails the job if async time-to-accuracy regresses above synchronous
+// (LIFL_FIG9_GATE=0 disables the gate).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
+#include "src/ml/accuracy_model.hpp"
+#include "src/systems/sharded_campaign.hpp"
 #include "src/systems/system_config.hpp"
 #include "src/systems/table.hpp"
 #include "src/systems/training_experiment.hpp"
@@ -98,6 +110,147 @@ void run_workload(const SetupSpec& setup) {
   summary.print("Fig. 9 — " + setup.label + " time/cost to 70% accuracy");
 }
 
+// ---- sync vs async under stragglers (the Fig. 11 extension A/B) ---------
+
+/// The shared campaign: 30% of arrivals upload 30 s late. Synchronous
+/// rounds stall on them (a round cannot close without its full cohort);
+/// async versions keep sealing on count/deadline and fold the late updates
+/// at the FedAsync staleness discount when they finally land.
+sys::ShardedCampaignConfig ab_campaign() {
+  sys::ShardedCampaignConfig cfg;
+  cfg.shards = 1;
+  cfg.groups = 4;
+  cfg.rounds = 5;  // async: model versions
+  cfg.leaves_per_group = 8;
+  cfg.updates_per_leaf = 10;
+  cfg.model_bytes = 50'000;
+  cfg.population = 20'000;
+  cfg.peak_per_sec = 280.0;
+  cfg.ramp_secs = 1.0;
+  cfg.diurnal_amplitude = 0.3;
+  cfg.diurnal_period_secs = 6.0;
+  cfg.seed = 77;
+  cfg.middle_fanin = 4;
+  cfg.replan_interval_secs = 0.0;
+  cfg.straggler_fraction = 0.3;
+  cfg.straggler_delay_secs = 30.0;
+  return cfg;
+}
+
+struct AbOutcome {
+  double sim_secs = 0.0;        ///< last round/version completion (sim s)
+  double eff_rounds = 0.0;      ///< staleness-discounted round equivalents
+  double rate = 0.0;            ///< effective rounds per simulated second
+  double secs_to_target = 0.0;  ///< extrapolated time to 70% accuracy
+  std::size_t versions = 0;
+};
+
+/// Progress model shared by both arms: a round/version that folds raw
+/// sample mass S at effective (discounted) weight W advances training by
+/// W/S round equivalents — exactly 1.0 for a synchronous round, <1.0 for
+/// an async version that folded stale updates. Steady-state cadence then
+/// extrapolates through the calibrated ResNet-18 curve to time-to-70%.
+AbOutcome measure(const sys::ShardedCampaignConfig& cfg,
+                  const ml::AccuracyModel& curve, double target) {
+  const auto r = sys::run_sharded_campaign(cfg);
+  AbOutcome out;
+  out.versions = r.round_completed_at.size();
+  out.sim_secs = r.round_completed_at.empty() ? 0.0
+                                              : r.round_completed_at.back();
+  for (std::size_t v = 0; v < r.round_weight.size(); ++v) {
+    const double samples = static_cast<double>(r.round_samples[v]);
+    if (samples > 0.0) out.eff_rounds += r.round_weight[v] / samples;
+  }
+  if (out.sim_secs > 0.0) out.rate = out.eff_rounds / out.sim_secs;
+  const std::uint32_t need = curve.rounds_to_accuracy(target);
+  if (out.rate > 0.0 && need > 0) out.secs_to_target = need / out.rate;
+  return out;
+}
+
+/// Runs the A/B, prints the comparison, writes BENCH_fig9_async.json, and
+/// returns the gate verdict (async at-or-better time-to-accuracy).
+int run_async_ab() {
+  const bench::BenchMeta meta;
+  const auto curve = ml::AccuracyModel::resnet18_femnist();
+  constexpr double kTarget = 0.70;
+
+  auto sync_cfg = ab_campaign();
+  sync_cfg.hierarchy = sys::HierarchyMode::kPlanned;
+  auto async_cfg = ab_campaign();
+  async_cfg.hierarchy = sys::HierarchyMode::kAsync;
+  async_cfg.async_deadline_secs = 2.0;
+
+  std::printf(
+      "\nFig. 9 (async extension) — sync vs async aggregation, "
+      "30%% stragglers +%gs\n",
+      sync_cfg.straggler_fraction > 0 ? sync_cfg.straggler_delay_secs : 0.0);
+  const AbOutcome sync_ab = measure(sync_cfg, curve, kTarget);
+  const AbOutcome async_ab = measure(async_cfg, curve, kTarget);
+
+  sys::Table t({"mode", "rounds/versions", "sim(s)", "eff rounds",
+                "eff rounds/s", "secs to 70%"});
+  const auto row = [&t](const char* label, const AbOutcome& o) {
+    t.row({label, std::to_string(o.versions), sys::fmt(o.sim_secs, 2),
+           sys::fmt(o.eff_rounds, 3), sys::fmt(o.rate, 4),
+           sys::fmt(o.secs_to_target, 1)});
+  };
+  row("sync (planned)", sync_ab);
+  row("async (FedBuff)", async_ab);
+  t.print("Same campaign, same arrivals; async seals buffers on "
+          "count/deadline instead of waiting on the straggler tail");
+  const double speedup = async_ab.secs_to_target > 0.0
+                             ? sync_ab.secs_to_target / async_ab.secs_to_target
+                             : 0.0;
+  std::printf("async speedup to 70%%: %.2fx\n", speedup);
+
+  FILE* out = std::fopen("BENCH_fig9_async.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
+    std::fprintf(out,
+                 "  \"bench\": \"fig9_async\",\n"
+                 "  \"straggler_fraction\": %.2f,\n"
+                 "  \"straggler_delay_secs\": %.1f,\n"
+                 "  \"sync_sim_secs\": %.6f,\n"
+                 "  \"async_sim_secs\": %.6f,\n"
+                 "  \"sync_eff_rounds\": %.6f,\n"
+                 "  \"async_eff_rounds\": %.6f,\n"
+                 "  \"sync_secs_to_target\": %.3f,\n"
+                 "  \"async_secs_to_target\": %.3f,\n"
+                 "  \"speedup\": %.4f\n"
+                 "}\n",
+                 sync_cfg.straggler_fraction, sync_cfg.straggler_delay_secs,
+                 sync_ab.sim_secs, async_ab.sim_secs, sync_ab.eff_rounds,
+                 async_ab.eff_rounds, sync_ab.secs_to_target,
+                 async_ab.secs_to_target, speedup);
+    std::fclose(out);
+    std::printf("wrote BENCH_fig9_async.json\n");
+  }
+
+  // ---- gate: under a 30% straggler tail, async must reach the target
+  // accuracy no later than the synchronous barrier — that is the whole
+  // point of removing the barrier (ISSUE 6 acceptance).
+  bool gate = true;
+  if (const char* env = std::getenv("LIFL_FIG9_GATE")) {
+    gate = std::strcmp(env, "0") != 0;
+  }
+  if (!gate) {
+    std::printf("gate SKIPPED (LIFL_FIG9_GATE=0)\n");
+    return 0;
+  }
+  if (sync_ab.secs_to_target <= 0.0 || async_ab.secs_to_target <= 0.0 ||
+      async_ab.secs_to_target > sync_ab.secs_to_target) {
+    std::fprintf(stderr,
+                 "gate FAILED: async %.1f s to 70%% vs sync %.1f s "
+                 "(async must be at-or-better under stragglers)\n",
+                 async_ab.secs_to_target, sync_ab.secs_to_target);
+    return 1;
+  }
+  std::printf("gate OK: async %.1f s <= sync %.1f s to 70%% accuracy\n",
+              async_ab.secs_to_target, sync_ab.secs_to_target);
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -107,5 +260,5 @@ int main() {
       "        ResNet-152 LIFL 1.9h/4.76CPUh, SF 2.2h/6.81, SL 3.2h/20.4)\n");
   run_workload({"ResNet-18, 120 active mobile clients", resnet18_setup()});
   run_workload({"ResNet-152, 15 active server clients", resnet152_setup()});
-  return 0;
+  return run_async_ab();
 }

@@ -3,21 +3,26 @@
 //
 // Unlike synchronous rounds, asynchronous FL never waits for a cohort: a
 // fixed concurrency of clients trains continuously, every completed update
-// streams into the aggregation service, and each `aggregation_goal`
-// accepted updates bumps the global model version (FedBuff/PAPAYA-style
-// buffered aggregation). Staleness control drops updates trained against a
+// streams into the aggregation service, and each `goal` accepted updates
+// bumps the global model version (FedBuff/PAPAYA-style buffered
+// aggregation). This is a *recurring* AggregatorRuntime — the same runtime
+// the campaigns use, with the caller owning the version counter and
+// `live_version`/`max_staleness` dropping updates trained against a
 // version that is too old. The example contrasts eager and lazy folding:
 // same goal, same arrivals — eager publishes versions sooner because Recv
 // and Agg overlap the arrival gaps.
+//
+// The full campaign-scale version of this mode is
+// `examples/mega_campaign --hierarchy=async` (HierarchyMode::kAsync).
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/example_async_aggregation
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "src/fl/aggregator_runtime.hpp"
-#include "src/fl/async_engine.hpp"
 #include "src/fl/model_spec.hpp"
 #include "src/sim/random.hpp"
 #include "src/systems/table.hpp"
@@ -37,15 +42,25 @@ AsyncOutcome run_async(fl::AggTiming timing, std::uint32_t goal,
   sim::Cluster cluster(sim, 1);
   dp::DataPlane plane(cluster, dp::lifl_plane(), sim::Rng(17));
 
-  fl::AsyncEngine::Config cfg;
+  AsyncOutcome out;
+  std::uint32_t version = 1;  // caller-owned: bumped per emission
+  fl::AggregatorRuntime::Config cfg;
+  cfg.id = 1;
   cfg.node = 0;
-  cfg.aggregation_goal = goal;
-  cfg.concurrency = concurrency;
+  cfg.role = fl::AggRole::kTop;
   cfg.timing = timing;
-  cfg.update_bytes = fl::models::resnet152().bytes();
+  cfg.goal = goal;
+  cfg.recurring = true;  // FedBuff: every `goal` updates emit a version
+  cfg.pull_from_pool = true;
+  cfg.result_bytes = fl::models::resnet152().bytes();
+  cfg.live_version = &version;
   cfg.max_staleness = 2;  // drop updates >2 versions behind
-  fl::AsyncEngine engine(plane, cfg);
-  engine.start();
+  cfg.on_result = [&](fl::ModelUpdate) {
+    out.version_times.push_back(sim.now());
+    ++version;
+  };
+  fl::AggregatorRuntime rt(plane, cfg);
+  rt.start();
 
   // A continuous client stream: each of `concurrency` clients trains for a
   // heterogeneous interval, uploads, and immediately starts over with
@@ -64,7 +79,7 @@ AsyncOutcome run_async(fl::AggTiming timing, std::uint32_t goal,
     sim.schedule_after(train, [&, idx]() {
       if (sim.now() > horizon_secs) return;  // campaign over
       fl::ModelUpdate u;
-      u.model_version = engine.current_version();  // trained from this
+      u.model_version = version;  // trained from this global version
       u.producer = clients[idx].id;
       u.sample_count = 500;
       u.logical_bytes = fl::models::resnet152().bytes();
@@ -75,10 +90,8 @@ AsyncOutcome run_async(fl::AggTiming timing, std::uint32_t goal,
   for (std::size_t c = 0; c < clients.size(); ++c) launch(c);
 
   sim.run();
-  AsyncOutcome out;
-  out.version_times = engine.version_times();
-  out.stale_dropped = engine.stale_dropped();
-  engine.stop();
+  out.stale_dropped = rt.stale_dropped();
+  rt.stop();  // under-goal buffered updates return to the pool
   return out;
 }
 

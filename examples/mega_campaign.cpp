@@ -31,11 +31,20 @@
 // spawn zero new aggregator runtimes. `--hierarchy=fixed` keeps the
 // two-level destroy-and-respawn baseline.
 //
+// With `--hierarchy=async` the round barrier disappears entirely
+// (HierarchyMode::kAsync): the campaign is one continuous stream, leaves
+// are FedBuff buffers sealing on count or `--async-deadline=SECS`, folds
+// are FedAsync staleness-weighted against the broadcast server version,
+// and `rounds` counts emitted model versions. `--stragglers=F` delays that
+// fraction of uploads by `--straggler-delay=SECS` (both modes — the
+// sync-vs-async A/B knob of bench/fig9_time_to_accuracy).
+//
 // Build & run:  cmake -B build && cmake --build build -j
 //               ./build/examples/mega_campaign            # full 1M clients
 //               ./build/examples/mega_campaign 100000     # quicker slice
 //               ./build/examples/mega_campaign --shards=4 # threaded core
 //               ./build/examples/mega_campaign --shards=4 --hierarchy=planned
+//               ./build/examples/mega_campaign --shards=4 --hierarchy=async
 
 #include <chrono>
 #include <cmath>
@@ -207,10 +216,17 @@ struct CheckpointOpts {
   std::string resume;        ///< resume-blob path (--resume=PATH)
 };
 
+/// Async-mode and straggler knobs (sharded path only).
+struct AsyncOpts {
+  double deadline_secs = 2.0;       ///< leaf-buffer seal deadline (kAsync)
+  double straggler_fraction = 0.0;  ///< delayed-upload fraction (both modes)
+  double straggler_delay_secs = 60.0;
+};
+
 /// Run the campaign on the sharded core and print the per-round table.
 int run_sharded(const CampaignConfig& cfg, std::size_t shards,
                 sys::HierarchyMode mode, double replan_interval, bool reuse,
-                const CheckpointOpts& ck) {
+                const CheckpointOpts& ck, const AsyncOpts& as) {
   sys::ShardedCampaignConfig scfg;
   scfg.shards = shards;
   scfg.groups = cfg.nodes;
@@ -230,27 +246,43 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
   scfg.checkpoint_every_secs = ck.every_secs;
   scfg.checkpoint_path = ck.checkpoint;
   scfg.resume_path = ck.resume;
+  scfg.async_deadline_secs = as.deadline_secs;
+  scfg.straggler_fraction = as.straggler_fraction;
+  scfg.straggler_delay_secs = as.straggler_delay_secs;
 
   const bool planned = mode == sys::HierarchyMode::kPlanned;
+  const bool is_async = mode == sys::HierarchyMode::kAsync;
   std::printf(
       "Sharded mega campaign: %zu mobile clients, %zu node groups on %zu "
-      "shard threads, %zu rounds x %zu uploads, %s hierarchy%s\n\n",
+      "shard threads, %zu %s x %zu uploads, %s hierarchy%s\n\n",
       scfg.population, scfg.groups, shards, scfg.rounds,
-      scfg.uploads_per_round(), planned ? "planned (streaming)" : "fixed",
+      is_async ? "model versions" : "rounds", scfg.uploads_per_round(),
+      is_async ? "async (FedBuff stream)"
+               : (planned ? "planned (streaming)" : "fixed"),
       planned && !reuse ? " (reuse off)" : "");
+  if (as.straggler_fraction > 0.0) {
+    std::printf("stragglers: %.0f%% of uploads delayed %.0f s\n\n",
+                100.0 * as.straggler_fraction, as.straggler_delay_secs);
+  }
 
   const auto r = sys::run_sharded_campaign(scfg);
-  sys::Table t({"round", "duration(sim s)", "samples", "spawned", "reused"});
+  sys::Table t({is_async ? "version" : "round", "duration(sim s)",
+                "samples", "eff weight", "spawned", "reused"});
   for (std::size_t i = 0; i < r.round_completed_at.size(); ++i) {
     t.row({std::to_string(i + 1),
            sys::fmt(r.round_completed_at[i] - r.round_started_at[i], 2),
            std::to_string(r.round_samples[i]),
+           sys::fmt(r.round_weight[i], 0),
            std::to_string(r.round_spawned[i]),
            std::to_string(r.round_reused[i])});
   }
-  t.print(planned ? "Streaming hierarchy orchestrator (plan -> arm -> "
-                    "stream -> re-plan; zero steady-state spawns)"
-                  : "Fixed two-level hierarchy (per-round churn baseline)");
+  t.print(is_async
+              ? "Asynchronous stream (seal on count/deadline; weights "
+                "FedAsync staleness-discounted; zero steady-state spawns)"
+              : (planned ? "Streaming hierarchy orchestrator (plan -> arm "
+                           "-> stream -> re-plan; zero steady-state spawns)"
+                         : "Fixed two-level hierarchy (per-round churn "
+                           "baseline)"));
   std::printf(
       "%llu events in %.2f s wall (%.2fM events/s aggregate), "
       "%llu windows, %llu cross-shard posts\n",
@@ -258,7 +290,7 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
       r.events / r.wall_secs / 1e6,
       static_cast<unsigned long long>(r.windows),
       static_cast<unsigned long long>(r.cross_posts));
-  if (planned) {
+  if (planned || is_async) {
     std::printf(
         "orchestrator: %llu spawned / %llu reused runtimes, %llu re-plans, "
         "%llu partial drains, peak %u leaves/group\n",
@@ -293,12 +325,14 @@ int main(int argc, char** argv) {
   double replan_interval = 5.0;
   bool reuse = true;
   CheckpointOpts ck;
+  AsyncOpts as;
   const auto usage = [&argv] {
     std::fprintf(stderr,
                  "usage: %s [population >= 1000] [--shards=K] "
-                 "[--hierarchy=fixed|planned] [--replan-interval=SECS] "
+                 "[--hierarchy=fixed|planned|async] [--replan-interval=SECS] "
                  "[--reuse=0|1] [--checkpoint=PATH] [--resume=PATH] "
-                 "[--checkpoint-every=SECS]\n",
+                 "[--checkpoint-every=SECS] [--async-deadline=SECS] "
+                 "[--stragglers=FRACTION] [--straggler-delay=SECS]\n",
                  argv[0]);
     return 2;
   };
@@ -315,7 +349,38 @@ int main(int argc, char** argv) {
         mode = sys::HierarchyMode::kPlanned;
       } else if (std::strcmp(argv[a] + 12, "fixed") == 0) {
         mode = sys::HierarchyMode::kFixed;
+      } else if (std::strcmp(argv[a] + 12, "async") == 0) {
+        mode = sys::HierarchyMode::kAsync;
       } else {
+        return usage();
+      }
+      continue;
+    }
+    if (std::strncmp(argv[a], "--async-deadline=", 17) == 0) {
+      char* end = nullptr;
+      as.deadline_secs = std::strtod(argv[a] + 17, &end);
+      if (end == argv[a] + 17 || *end != '\0' ||
+          !std::isfinite(as.deadline_secs) || as.deadline_secs < 0.0) {
+        return usage();
+      }
+      continue;
+    }
+    if (std::strncmp(argv[a], "--stragglers=", 13) == 0) {
+      char* end = nullptr;
+      as.straggler_fraction = std::strtod(argv[a] + 13, &end);
+      if (end == argv[a] + 13 || *end != '\0' ||
+          !std::isfinite(as.straggler_fraction) ||
+          as.straggler_fraction < 0.0 || as.straggler_fraction > 1.0) {
+        return usage();
+      }
+      continue;
+    }
+    if (std::strncmp(argv[a], "--straggler-delay=", 18) == 0) {
+      char* end = nullptr;
+      as.straggler_delay_secs = std::strtod(argv[a] + 18, &end);
+      if (end == argv[a] + 18 || *end != '\0' ||
+          !std::isfinite(as.straggler_delay_secs) ||
+          as.straggler_delay_secs < 0.0) {
         return usage();
       }
       continue;
@@ -375,9 +440,12 @@ int main(int argc, char** argv) {
   const bool ck_flag =
       ck.every_secs > 0.0 || !ck.checkpoint.empty() || !ck.resume.empty();
   if (ck_flag && ck.every_secs <= 0.0) ck.every_secs = 20.0;
-  if ((hierarchy_flag || ck_flag) && shards == 0) shards = 1;
+  if ((hierarchy_flag || ck_flag || as.straggler_fraction > 0.0) &&
+      shards == 0) {
+    shards = 1;
+  }
   if (shards > 0) return run_sharded(cfg, shards, mode, replan_interval,
-                                     reuse, ck);
+                                     reuse, ck, as);
 
   std::printf(
       "Mega campaign: %zu mobile clients, %zu nodes, %zu rounds x %zu "

@@ -41,6 +41,10 @@ struct CampaignPlan {
 /// (leaf → middle → group relay → top), sized per group from an
 /// EWMA-smoothed pending-update estimate, with a hysteresis band so
 /// mid-round re-planning fires on real drift rather than arrival noise.
+/// Synchronous rounds feed the estimate from the round's pending backlog;
+/// asynchronous campaigns feed it from *buffer pressure* (queued updates
+/// plus arrival flux into the leaf buffers) — the sizing rule is the same,
+/// only the signal source differs, so one planner serves both modes.
 ///
 /// Thread/shard discipline: `plan_round` runs on the coordinator while the
 /// shards are idle (a shard barrier); `replan` is *group-local* — it
@@ -110,6 +114,31 @@ class CampaignPlanner {
   std::uint64_t replans(std::size_t g) const {
     return groups_.at(g).replans;
   }
+
+  // ---- server-version vector (asynchronous campaigns) ------------------
+  // In kAsync mode there is no round barrier to carry the global model
+  // version, so the planner's cache-line-separated group slots carry it
+  // instead: the version-producing top broadcasts each bump to every
+  // group's shard (a cross-shard post, so the write lands in that group's
+  // event order), and the group's arrivals/leaves read their own slot —
+  // group-local on both sides, hence race-free and shard-count invariant.
+  // Re-planning and warm-leaf reuse keep working against the same slots,
+  // without any round barrier.
+
+  /// Record group `g`'s view of the global model version (runs on `g`'s
+  /// shard, or on the coordinator between phases).
+  void set_version(std::size_t g, std::uint32_t v) {
+    groups_.at(g).version = v;
+  }
+  std::uint32_t version(std::size_t g) const {
+    return groups_.at(g).version;
+  }
+  /// Stable pointer to group `g`'s version slot — wired into leaf configs
+  /// as `AggregatorRuntime::Config::live_version` for staleness-weighted
+  /// folding.
+  const std::uint32_t* version_ptr(std::size_t g) const {
+    return &groups_.at(g).version;
+  }
   std::size_t group_count() const noexcept { return groups_.size(); }
   const Config& config() const noexcept { return cfg_; }
 
@@ -120,6 +149,8 @@ class CampaignPlanner {
     Ewma est;
     std::uint32_t leaves = 0;
     std::uint64_t replans = 0;
+    /// The group's view of the global model version (async campaigns).
+    std::uint32_t version = 0;
     GroupState(double alpha) : est(alpha) {}
   };
 

@@ -1,5 +1,6 @@
 #include "src/fl/aggregator_runtime.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -208,6 +209,7 @@ void AggregatorRuntime::rearm(Config cfg) {
   received_ = 0;
   pulled_ = 0;
   aggregated_ = 0;
+  emissions_ = 0;
   version_ = 0;
   first_arrival_at_ = -1.0;
   sent_at_ = -1.0;
@@ -243,10 +245,15 @@ void AggregatorRuntime::deliver(ModelUpdate u) {
     plane_.env(cfg_.node).pool.push(std::move(u));
     return;
   }
-  if (cfg_.expected_version != 0 &&
-      u.model_version != cfg_.expected_version) {
-    // Stale straggler from an earlier round: drop it (its shm lease is
-    // released as `u` goes out of scope) and keep listening.
+  const bool version_mismatch =
+      cfg_.expected_version != 0 && u.model_version != cfg_.expected_version;
+  const bool too_stale =
+      cfg_.live_version != nullptr && *cfg_.live_version > u.model_version &&
+      *cfg_.live_version - u.model_version > cfg_.max_staleness;
+  if (version_mismatch || too_stale) {
+    // Stale straggler: wrong round under synchronous version gating, or
+    // beyond the staleness bound under asynchronous folding. Drop it (its
+    // shm lease is released as `u` goes out of scope) and keep listening.
     ++stale_dropped_;
     if (cfg_.pull_from_pool && pulled_ > 0) {
       --pulled_;
@@ -306,7 +313,16 @@ void AggregatorRuntime::on_agg_done() {
   sim::Node& node = plane_.cluster().node(cfg_.node);
   node.cpu().add(CostTag::kAggregator, step_cycles_);
   busy_secs_ += step_secs_;
-  acc_.add(*in_flight_);
+  // FedAsync staleness weighting: discount by 1/(1+staleness) against the
+  // live global version. The factor multiplies into the fold coefficient
+  // of the fused axpy sweep — no extra pass over the tensor.
+  double scale = 1.0;
+  if (cfg_.live_version != nullptr &&
+      *cfg_.live_version > in_flight_->model_version) {
+    scale = 1.0 / (1.0 + static_cast<double>(*cfg_.live_version -
+                                             in_flight_->model_version));
+  }
+  acc_.add(*in_flight_, scale);
   ++aggregated_;
   // The eBPF sidecar observes the execution and records metrics (§4.3).
   plane_.record_agg_exec(cfg_.node, step_secs_);
@@ -321,10 +337,29 @@ void AggregatorRuntime::on_agg_done() {
 }
 
 void AggregatorRuntime::do_send() {
-  sent_ = true;
   sent_at_ = sim_.now();
   ModelUpdate result = acc_.make_update(version_, cfg_.id, cfg_.result_bytes);
   result.created_at = sim_.now();
+  ++emissions_;
+  if (cfg_.recurring) {
+    // FedBuff emit-and-continue: the buffer resets in place and the
+    // instance keeps aggregating toward the (possibly re-set) goal.
+    // Updates already queued in the FIFO stay queued and count toward the
+    // next buffer.
+    acc_.reset();
+    aggregated_ = 0;
+    received_ = static_cast<std::uint32_t>(fifo_.size());
+    version_ = 0;
+    for (const auto& f : fifo_) {
+      version_ = std::max(version_, f.model_version);
+    }
+    if (fifo_.empty()) first_arrival_at_ = -1.0;
+    // Pool waiters for consumed updates were used up; re-arm enough for
+    // the next buffer (buffered deliveries count as already pulled).
+    if (cfg_.pull_from_pool) pulled_ = received_;
+  } else {
+    sent_ = true;
+  }
   if (cfg_.consumer != 0) {
     plane_.send(cfg_.id, cfg_.node, cfg_.consumer, std::move(result));
   } else if (cfg_.on_result) {
@@ -334,6 +369,14 @@ void AggregatorRuntime::do_send() {
     // as it is destroyed.
     ResultFn fn = cfg_.on_result;
     fn(std::move(result));
+  }
+  if (cfg_.recurring && started_ && !processing_ && !sent_) {
+    // The callback may have adjusted the goal for the next buffer (a
+    // re-arm or stop mid-callback leaves these as no-ops). Keep pulling
+    // and folding — the stream continues.
+    maybe_pull();
+    pump();
+    maybe_complete();
   }
 }
 

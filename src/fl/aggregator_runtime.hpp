@@ -58,9 +58,24 @@ enum class ColdStartTrigger : std::uint8_t {
 /// but Recv and Agg overlap across *updates* under eager timing: each
 /// arrival is processed immediately instead of waiting for the batch.
 ///
+/// **Goal semantics.** A goal is *sealed* (goal_open == false) when its
+/// count is final: the instance Sends exactly when the count is reached.
+/// An *open* goal (goal_open == true) may still grow via `set_goal` — the
+/// instance keeps folding but never Sends until the goal is sealed. The
+/// streaming hierarchy's middles start open and are sealed once the
+/// round's batches are fully assigned; `drain()` is the forced seal — it
+/// seals at whatever was already accepted so a partial buffer flushes.
+/// Asynchronous leaf buffers reuse exactly this machinery: seal-on-count
+/// is the ordinary sealed goal, seal-on-deadline is a timer calling
+/// `drain()`.
+///
 /// The runtime is **stateless** across aggregation tasks: `convert_role`
 /// re-purposes a finished instance as a higher-level aggregator with no
 /// state synchronization — the opportunistic-reuse mechanism of §5.3.
+/// With `Config::recurring` the same instance additionally self-renews
+/// *within* a task stream: each filled buffer is emitted and the
+/// accumulator resets in place (FedBuff-style buffered asynchronous
+/// aggregation, absorbed here from the retired `fl::AsyncEngine`).
 class AggregatorRuntime {
  public:
   using ResultFn = std::function<void(ModelUpdate)>;
@@ -82,8 +97,29 @@ class AggregatorRuntime {
     bool pull_from_pool = false;   ///< leaf: pull updates off the node pool
     ResultFn on_result;            ///< sink for the aggregate (top level)
     /// Accept only updates for this global model version (0 = accept any);
-    /// stale stragglers from earlier rounds are discarded (§2.1).
+    /// stale stragglers from earlier rounds are discarded (§2.1). The
+    /// synchronous-round mechanism — asynchronous aggregation accepts any
+    /// version and discounts by staleness instead (see `live_version`).
     std::uint32_t expected_version = 0;
+
+    // ---- asynchronous aggregation (FedBuff/FedAsync semantics) ----------
+    /// Pointer to the live global model version (the campaign's per-group
+    /// server-version slot). When set, each fold is weighted by the
+    /// FedAsync staleness factor 1/(1 + (*live_version - update.version)):
+    /// the factor rides the accumulator's fused axpy sweep, so discounted
+    /// folding costs no extra pass. Null = synchronous (unit weights).
+    const std::uint32_t* live_version = nullptr;
+    /// With `live_version` set: drop updates staler than this many versions
+    /// instead of folding them (basic staleness control). Default accepts
+    /// everything at discounted weight.
+    std::uint32_t max_staleness = UINT32_MAX;
+    /// FedBuff buffer semantics: after each Send the runtime *continues* —
+    /// the accumulator resets in place and keeps folding toward the same
+    /// goal (adjust per emission via `set_goal` from `on_result`), emitting
+    /// one aggregate per filled buffer instead of completing once. This is
+    /// the absorbed async-engine mechanism: a recurring kFoldedUpdates top
+    /// emits a model version every `goal` folded client updates.
+    bool recurring = false;
 
     // Cold-start modelling (filled in by the node agent).
     ColdStartTrigger cold_trigger = ColdStartTrigger::kNone;
@@ -138,7 +174,8 @@ class AggregatorRuntime {
   const Config& config() const noexcept { return cfg_; }
   bool started() const noexcept { return started_; }
   bool ready() const noexcept { return ready_; }
-  /// The aggregation goal was met and the result sent.
+  /// The aggregation goal was met and the result sent. A recurring
+  /// instance is never done — it emits and continues.
   bool done() const noexcept { return sent_; }
   /// Started, not processing, nothing buffered (reusable when also done).
   bool idle() const noexcept {
@@ -150,6 +187,9 @@ class AggregatorRuntime {
   /// Client updates folded into the running aggregate so far.
   std::uint32_t folded() const noexcept { return acc_.updates_folded(); }
   std::uint32_t stale_dropped() const noexcept { return stale_dropped_; }
+  /// Aggregates emitted by a recurring instance (model versions, for a
+  /// recurring top).
+  std::uint32_t emissions() const noexcept { return emissions_; }
   sim::SimTime first_arrival_at() const noexcept { return first_arrival_at_; }
   sim::SimTime sent_at() const noexcept { return sent_at_; }
   /// Total seconds spent in Recv+Agg+Send processing.
@@ -223,6 +263,7 @@ class AggregatorRuntime {
   std::uint32_t pulled_ = 0;
   std::uint32_t aggregated_ = 0;
   std::uint32_t stale_dropped_ = 0;
+  std::uint32_t emissions_ = 0;
   std::uint32_t version_ = 0;
   sim::SimTime first_arrival_at_ = -1.0;
   sim::SimTime sent_at_ = -1.0;

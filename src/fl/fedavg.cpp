@@ -12,17 +12,29 @@ namespace k = ml::kernels;
 
 }  // namespace
 
-void FedAvgAccumulator::add(const ModelUpdate& update) {
+void FedAvgAccumulator::add(const ModelUpdate& update, double scale) {
   if (update.sample_count == 0) {
     throw std::invalid_argument("FedAvg: update with zero sample_count");
   }
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("FedAvg: fold scale must be positive");
+  }
+  // Effective weight: the update's carried weight (an intermediate
+  // aggregate's discounted total) or its raw sample count, times the
+  // caller's staleness factor. scale == 1 with no carried weight reduces
+  // to exactly the historical integer coefficient.
+  const double eff =
+      (update.weight > 0.0 ? update.weight
+                           : static_cast<double>(update.sample_count)) *
+      scale;
   finalized_.reset();
   if (update.tensor) {
-    add_tensor_weighted(update.tensor, update.sample_count);
+    add_tensor_weighted(update.tensor, static_cast<float>(eff));
   }
   // Logical-only weight: contributes to the divisor and nothing to the sum
   // (the defined zero tensor) — exact in sum form, no rescaling.
   total_samples_ += update.sample_count;
+  total_weight_ += eff;
   updates_folded_ += update.updates_folded;
 }
 
@@ -33,15 +45,15 @@ void FedAvgAccumulator::add(const std::shared_ptr<const ml::Tensor>& params,
   }
   finalized_.reset();
   if (params) {
-    add_tensor_weighted(params, sample_count);
+    add_tensor_weighted(params, static_cast<float>(sample_count));
   }
   total_samples_ += sample_count;
+  total_weight_ += static_cast<double>(sample_count);
   ++updates_folded_;
 }
 
 void FedAvgAccumulator::add_tensor_weighted(
-    const std::shared_ptr<const ml::Tensor>& params,
-    std::uint64_t sample_count) {
+    const std::shared_ptr<const ml::Tensor>& params, float weight) {
   const std::size_t n = params->size();
   std::size_t have = n;
   if (pending_) {
@@ -52,7 +64,7 @@ void FedAvgAccumulator::add_tensor_weighted(
   if (n != have) {
     throw std::invalid_argument("FedAvg: tensor size mismatch");
   }
-  const float w = static_cast<float>(sample_count);
+  const float w = weight;
   if (!pending_) {
     // Park the update zero-copy (a shared_ptr to the shm-resident tensor)
     // until a partner arrives: two updates then fold in ONE accumulator
@@ -93,9 +105,12 @@ void FedAvgAccumulator::finalize() const {
   if (finalized_) return;
   auto* self = const_cast<FedAvgAccumulator*>(this);
   self->flush_pending();
-  if (!sum_ || total_samples_ == 0) return;
-  const auto inv = static_cast<float>(
-      1.0 / static_cast<double>(total_samples_));
+  if (!sum_ || total_weight_ <= 0.0) return;
+  // Divide by the *effective* weight total. With unit scales this is the
+  // exact integer sample total (integer sums are exact in double), so the
+  // synchronous path produces bit-identical averages to the historical
+  // integer-divisor code.
+  const auto inv = static_cast<float>(1.0 / total_weight_);
   auto avg = ml::TensorPool::global().acquire(sum_->size());
   k::ops().scale_into(avg->data(), inv, sum_->data(), sum_->size());
   finalized_ = std::move(avg);
@@ -114,6 +129,10 @@ ModelUpdate FedAvgAccumulator::make_update(std::uint32_t model_version,
   u.producer = producer;
   u.sample_count = total_samples_;
   u.updates_folded = updates_folded_;
+  // Carry the effective weight so a parent folds this aggregate at its
+  // discounted worth (hierarchical == flat under staleness weighting). In
+  // the unweighted case this equals sample_count exactly — same bits.
+  u.weight = total_weight_;
   u.logical_bytes = logical_bytes;
   u.tensor = result();
   return u;
@@ -127,6 +146,7 @@ void FedAvgAccumulator::reset() {
   pending_weight_ = 0.0f;
   finalized_.reset();
   total_samples_ = 0;
+  total_weight_ = 0.0;
   updates_folded_ = 0;
 }
 

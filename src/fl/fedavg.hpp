@@ -29,13 +29,24 @@ namespace lifl::fl {
 /// weight to the divisor and nothing to the sum — exactly the "carries a
 /// zero tensor" definition, with no rescaling of already-folded state.
 ///
+/// **Staleness weighting** (FedAsync-style async aggregation): `add` takes
+/// an optional `scale` multiplied into the update's effective weight; the
+/// scaled coefficient rides the same fused `axpy`/`axpy2` sweep, so a
+/// staleness-discounted fold costs exactly the same memory traffic as an
+/// unweighted one. The divisor becomes the *effective* weight total
+/// `total_weight()` (a double; integer sample counts are exact in it, so
+/// the synchronous `scale == 1` path is bitwise identical to the historical
+/// integer-divisor behaviour).
+///
 /// All buffers (the running sum, the finalized average) come from
 /// `ml::TensorPool::global()`: steady-state rounds perform zero tensor heap
 /// allocations.
 class FedAvgAccumulator {
  public:
-  /// Fold one update into the running aggregate.
-  void add(const ModelUpdate& update);
+  /// Fold one update into the running aggregate. `scale` discounts the
+  /// update's effective weight (1 = plain FedAvg; async mode passes the
+  /// FedAsync staleness factor 1/(1+staleness)).
+  void add(const ModelUpdate& update, double scale = 1.0);
 
   /// Fold a raw (tensor, weight) pair.
   void add(const std::shared_ptr<const ml::Tensor>& params,
@@ -44,8 +55,15 @@ class FedAvgAccumulator {
   /// Number of updates folded in (counting folded sub-updates).
   std::uint32_t updates_folded() const noexcept { return updates_folded_; }
 
-  /// Total sample weight aggregated so far (T of Eq. 1).
+  /// Total sample weight aggregated so far (T of Eq. 1) — raw samples,
+  /// undiscounted; kept for telemetry.
   std::uint64_t total_samples() const noexcept { return total_samples_; }
+
+  /// Effective weight aggregated so far: Σ (weight_i · scale_i). This is
+  /// the divisor of the average. Equals `total_samples()` exactly (and
+  /// bitwise, integer sums being exact in double) when every fold used
+  /// scale 1 and carried no explicit weight.
+  double total_weight() const noexcept { return total_weight_; }
 
   /// The weighted average of everything added so far; null if only logical
   /// updates were added. Finalizes lazily (flush the parked update, one
@@ -67,7 +85,7 @@ class FedAvgAccumulator {
 
  private:
   void add_tensor_weighted(const std::shared_ptr<const ml::Tensor>& params,
-                           std::uint64_t sample_count);
+                           float weight);
   /// Fold the parked update (if any) into the sum — called before finalize
   /// so observable state is always complete.
   void flush_pending();
@@ -80,6 +98,7 @@ class FedAvgAccumulator {
   float pending_weight_ = 0.0f;
   mutable std::shared_ptr<const ml::Tensor> finalized_;  ///< cached average
   std::uint64_t total_samples_ = 0;
+  double total_weight_ = 0.0;  ///< Σ effective weights — the divisor
   std::uint32_t updates_folded_ = 0;
 };
 

@@ -25,6 +25,14 @@ struct ModelUpdate {
   ParticipantId producer = 0;        ///< client or aggregator that sent it
   std::uint64_t sample_count = 0;    ///< FedAvg weight (c_k of Eq. 1)
   std::uint32_t updates_folded = 1;  ///< leaf updates this aggregate contains
+  /// Effective FedAvg weight. 0 (the default, and what every client upload
+  /// carries) means "use `sample_count`". Intermediate aggregates produced
+  /// under staleness-weighted folding (FedAsync-style async mode) carry the
+  /// discounted weight here — an exact double, so hierarchical aggregation
+  /// still equals flat aggregation — while `sample_count` keeps the raw
+  /// sample total for telemetry. In synchronous mode the two are equal and
+  /// the folding math is bitwise identical to the unweighted path.
+  double weight = 0.0;
   std::size_t logical_bytes = 0;     ///< wire size of the update
   std::shared_ptr<const ml::Tensor> tensor;  ///< optional real payload
   /// True while the update is still in its original client-upload encoding

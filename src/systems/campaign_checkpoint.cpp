@@ -135,6 +135,10 @@ std::uint64_t CampaignCheckpoint::config_digest(
   d.mix(cfg.ewma_alpha);
   d.mix(cfg.replan_hysteresis);
   d.mix(static_cast<std::uint64_t>(cfg.cold_start_spawns));
+  d.mix(cfg.async_deadline_secs);
+  d.mix(static_cast<std::uint64_t>(cfg.async_flush_updates));
+  d.mix(cfg.straggler_fraction);
+  d.mix(cfg.straggler_delay_secs);
   // The mark grid and the persistence cost model shape simulated time, so
   // a blob only resumes under the identical checkpointing regime.
   d.mix(cfg.checkpoint_every_secs);
@@ -148,7 +152,7 @@ std::vector<std::uint8_t> CampaignCheckpoint::encode_boundary(
     std::uint32_t next_round) {
   require_quiescent(st);
   const ShardedCampaignConfig& cfg = *st.cfg;
-  const bool planned = cfg.hierarchy == HierarchyMode::kPlanned;
+  const bool orchestrated = cfg.hierarchy != HierarchyMode::kFixed;
 
   sim::Serializer s;
   s.u64(kMagic);
@@ -156,13 +160,14 @@ std::vector<std::uint8_t> CampaignCheckpoint::encode_boundary(
   s.u64(config_digest(cfg));
   s.u32(static_cast<std::uint32_t>(st.sharded->shard_count()));
   s.u32(static_cast<std::uint32_t>(cfg.groups));
-  s.boolean(planned);
+  s.boolean(orchestrated);
   s.u32(next_round);
 
   s.begin_section(kSecResult);
   s.pod_vec(partial.round_started_at);
   s.pod_vec(partial.round_completed_at);
   s.pod_vec(partial.round_samples);
+  s.pod_vec(partial.round_weight);
   s.pod_vec(partial.round_spawned);
   s.pod_vec(partial.round_reused);
   s.u64(partial.spawned_total);
@@ -231,7 +236,7 @@ std::vector<std::uint8_t> CampaignCheckpoint::encode_boundary(
     s.u64(g.plane->inter_node_bytes());
     s.u64(g.plane->shm_deliveries());
 
-    if (planned) {
+    if (orchestrated) {
       s.u64(g.hier->warm_pool_size());
       s.u64(g.hier->leaf_slot_count());
       save_hier_stats(s, g.hier->total_stats());
@@ -239,7 +244,7 @@ std::vector<std::uint8_t> CampaignCheckpoint::encode_boundary(
   }
   s.end_section();
 
-  if (planned) {
+  if (orchestrated) {
     s.begin_section(kSecPlanner);
     for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
       s.f64(st.planner->estimate_initialized(gi) ? st.planner->estimate(gi)
@@ -247,6 +252,7 @@ std::vector<std::uint8_t> CampaignCheckpoint::encode_boundary(
       s.boolean(st.planner->estimate_initialized(gi));
       s.u32(st.planner->current(gi));
       s.u64(st.planner->replans(gi));
+      s.u32(st.planner->version(gi));
     }
     s.end_section();
   }
@@ -276,7 +282,7 @@ CheckpointCut CampaignCheckpoint::restore(
     const std::vector<std::uint8_t>& blob, detail::CampaignState& st,
     ShardedCampaignResult& partial) {
   const ShardedCampaignConfig& cfg = *st.cfg;
-  const bool planned = cfg.hierarchy == HierarchyMode::kPlanned;
+  const bool orchestrated = cfg.hierarchy != HierarchyMode::kFixed;
   sim::Deserializer d(blob);
 
   if (d.u64() != kMagic) {
@@ -307,7 +313,7 @@ CheckpointCut CampaignCheckpoint::restore(
   if (groups != st.groups.size()) {
     throw sim::SnapshotError("campaign snapshot: group count mismatch");
   }
-  if (d.boolean() != planned) {
+  if (d.boolean() != orchestrated) {
     throw sim::SnapshotError("campaign snapshot: hierarchy mode mismatch");
   }
   CheckpointCut cut;
@@ -317,6 +323,7 @@ CheckpointCut CampaignCheckpoint::restore(
   partial.round_started_at = d.pod_vec<double>();
   partial.round_completed_at = d.pod_vec<double>();
   partial.round_samples = d.pod_vec<std::uint64_t>();
+  partial.round_weight = d.pod_vec<double>();
   partial.round_spawned = d.pod_vec<std::uint64_t>();
   partial.round_reused = d.pod_vec<std::uint64_t>();
   partial.spawned_total = d.u64();
@@ -398,7 +405,7 @@ CheckpointCut CampaignCheckpoint::restore(
     const std::uint64_t shm_d = d.u64();
     g.plane->restore_transfer_counters(inter, shm_d);
 
-    if (planned) {
+    if (orchestrated) {
       const std::uint64_t pool_n = d.u64();
       const std::uint64_t slot_n = d.u64();
       const StreamingHierarchy::Stats total_stats = load_hier_stats(d);
@@ -408,7 +415,7 @@ CheckpointCut CampaignCheckpoint::restore(
   }
   d.end_section();
 
-  if (planned) {
+  if (orchestrated) {
     d.expect_section(kSecPlanner);
     for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
       const double est = d.f64();
@@ -416,6 +423,7 @@ CheckpointCut CampaignCheckpoint::restore(
       const std::uint32_t leaves = d.u32();
       const std::uint64_t replans = d.u64();
       st.planner->restore_group(gi, est, init, leaves, replans);
+      st.planner->set_version(gi, d.u32());
     }
     d.end_section();
   }

@@ -13,6 +13,9 @@ namespace lifl::sys {
 /// (a point on the global k·checkpoint_every_secs simulated-time grid) the
 /// blob resumes from. `mark < 0` means a round boundary (nothing of the
 /// round had run yet).
+/// In async mode (HierarchyMode::kAsync) the campaign is one continuous
+/// stream whose boundary is the stream start, so `round` is always 1 and
+/// the whole replay window is bounded by the stream prefix up to the mark.
 struct CheckpointCut {
   std::uint32_t round = 1;
   double mark = -1.0;
@@ -26,7 +29,8 @@ struct CheckpointCut {
 /// resources, CPU ledgers, eBPF metrics map, broker and transfer counters
 /// — every accumulator restored bit-exactly, because floating-point
 /// running sums are order-sensitive), shm object-store generator + stats,
-/// the campaign planner's EWMA/hysteresis slots, the streaming hierarchy's
+/// the campaign planner's EWMA/hysteresis and server-version slots, the
+/// streaming hierarchy's
 /// warm pools and leaf-slot tables, the warm top runtime, per-shard clocks
 /// and the partial campaign telemetry.
 ///
@@ -47,7 +51,9 @@ struct CheckpointCut {
 class CampaignCheckpoint {
  public:
   static constexpr std::uint64_t kMagic = 0x50414e534c46494cull;  // LIFLSNAP
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2: per-round effective FedAvg weights in the telemetry section and
+  /// per-group server-version slots in the planner section (async mode).
+  static constexpr std::uint32_t kVersion = 2;
 
   /// Digest of every config field that shapes the simulation (not the
   /// paths/sinks). A blob only restores under the digest it was cut from.

@@ -55,12 +55,26 @@ struct CampaignState {
   const ShardedCampaignConfig* cfg = nullptr;
   sim::ShardedSimulator* sharded = nullptr;
   std::vector<Group> groups;
-  std::unique_ptr<ctrl::CampaignPlanner> planner;  ///< planned mode
+  std::unique_ptr<ctrl::CampaignPlanner> planner;  ///< planned/async modes
   std::unique_ptr<fl::AggregatorRuntime> top_rt;   ///< planned: reused
   fl::AggregatorRuntime* top = nullptr;  ///< current round's top (group 0)
   bool round_done = false;
   double completed_at = -1.0;
   std::uint64_t round_samples = 0;
+  double round_weight = 0.0;  ///< effective weight of the last round/version
+
+  // ---- async stream (hierarchy == kAsync) ------------------------------
+  // Version-cadence state of the recurring top. Written by group 0's shard
+  // during the stream, read by the coordinator at barriers (the shard
+  // join/barrier orders the accesses).
+  std::uint64_t async_total = 0;   ///< client updates in the whole stream
+  std::uint64_t async_quota = 0;   ///< folded updates per model version (K)
+  std::uint64_t async_folded = 0;  ///< cumulative folded updates
+  std::uint32_t async_version = 1; ///< current global model version
+  double version_started_at = 0.0;
+  /// Per-version telemetry sink (the result being built): the recurring
+  /// top's on_result appends directly from group 0's shard.
+  ShardedCampaignResult* out = nullptr;
 
   // ---- checkpointing ---------------------------------------------------
   /// Snapshot persistence cost model, on group 0's node (Appendix B path).

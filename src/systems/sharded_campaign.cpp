@@ -69,19 +69,44 @@ struct GroupRelay {
 
 /// One open-loop arrival: upload a lazily derived client's update into the
 /// group's node, then chain the next arrival. 16 bytes — Task-inline.
+///
+/// The version stamp is the version the client trained from: the group's
+/// round in synchronous modes, the group's server-version slot in async
+/// mode. Stragglers — a deterministic hash of the group-local arrival
+/// sequence, so the choice is identical for every shard count — keep that
+/// stamp but deliver `straggler_delay_secs` late: a synchronous round
+/// stalls on them, an async version keeps bumping on count and folds them
+/// later at the staleness discount.
 struct ArrivalFn {
   CampaignState* st;
   Group* g;
   void operator()() const {
+    const ShardedCampaignConfig& cfg = *st->cfg;
+    const std::uint64_t seq = g->participant_counter++;
     const std::size_t idx = static_cast<std::size_t>(
-        (g->participant_counter++ * 2654435761ull) % g->population.size());
+        (seq * 2654435761ull) % g->population.size());
     const wl::ClientProfile profile = g->population[idx];
     fl::ModelUpdate u;
-    u.model_version = g->round;
+    u.model_version = cfg.hierarchy == HierarchyMode::kAsync
+                          ? st->planner->version(g->id)
+                          : g->round;
     u.producer = profile.id;
     u.sample_count = profile.samples;
-    u.logical_bytes = st->cfg->model_bytes;
-    g->plane->client_upload(0, std::move(u), profile.uplink_bytes_per_sec);
+    u.logical_bytes = cfg.model_bytes;
+    const bool straggler =
+        cfg.straggler_fraction > 0.0 &&
+        static_cast<double>((seq * 0x9e3779b97f4a7c15ull) >> 40) <
+            cfg.straggler_fraction * 16777216.0;
+    if (straggler) {
+      dp::DataPlane* plane = g->plane.get();
+      const double uplink = profile.uplink_bytes_per_sec;
+      g->sim->schedule_after(cfg.straggler_delay_secs,
+                             [plane, u = std::move(u), uplink]() mutable {
+                               plane->client_upload(0, std::move(u), uplink);
+                             });
+    } else {
+      g->plane->client_upload(0, std::move(u), profile.uplink_bytes_per_sec);
+    }
     ++g->launched;
     ++g->total_uploads;
     if (g->launched >= g->target) return;
@@ -89,6 +114,47 @@ struct ArrivalFn {
     g->sim->schedule_at(g->epoch + g->next_rel, ArrivalFn{st, g});
   }
 };
+
+/// Applies a model-version bump to one group's server-version slot. Posted
+/// from the top's shard to the group's shard with the cross-group model
+/// distribution latency, so the write lands in the group's own event order
+/// — which is what keeps async runs bitwise identical across shard counts.
+struct VersionApply {
+  CampaignState* st;
+  std::size_t group;
+  std::uint32_t version;
+  void operator()() const { st->planner->set_version(group, version); }
+};
+
+/// The recurring top's sink in async mode: every emission is one new
+/// global model version (FedBuff — the buffer filled on count). Runs on
+/// group 0's shard; appends per-version telemetry directly, re-targets the
+/// top's next buffer, and broadcasts the bump to every group.
+void on_version(CampaignState& st, fl::ModelUpdate u) {
+  st.async_folded += u.updates_folded;
+  const double now = st.groups[0].sim->now();
+  st.out->round_started_at.push_back(st.version_started_at);
+  st.out->round_completed_at.push_back(now);
+  st.out->round_samples.push_back(u.sample_count);
+  st.out->round_weight.push_back(u.weight);
+  st.version_started_at = now;
+  if (st.async_folded >= st.async_total) {
+    st.round_done = true;  // every update of the stream has been folded
+    st.completed_at = now;
+    return;
+  }
+  ++st.async_version;
+  // The final buffer is the remainder: quotas never overhang the stream,
+  // so the last version lands exactly when the last update folds.
+  st.top->set_goal(static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      st.async_quota, st.async_total - st.async_folded)));
+  for (std::size_t gi = 0; gi < st.groups.size(); ++gi) {
+    const double t =
+        now + cross_latency_secs(st.cfg->model_bytes);
+    st.sharded->post(st.groups[0].shard, st.groups[gi].shard, t,
+                     VersionApply{&st, gi, st.async_version});
+  }
+}
 
 /// In-sim snapshot cost pulse: fires at every mark of the global
 /// k·checkpoint_every_secs grid while the round is active, billing the
@@ -121,13 +187,14 @@ void spawn_cold(fl::AggregatorRuntime::Config& c,
   if (cfg.cold_start_spawns) apply_lifl_cold_start(c);
 }
 
-/// Arm the round's open-loop arrival chain for one group.
+/// Arm an open-loop arrival chain for one group: `target` uploads starting
+/// at `epoch` (one round in synchronous modes, the whole stream in async).
 void arm_arrivals(CampaignState& st, Group& g, std::uint32_t round,
-                  double epoch) {
+                  double epoch, std::uint64_t target) {
   g.round = round;
   g.epoch = epoch;
   g.launched = 0;
-  g.target = st.cfg->per_group_target();
+  g.target = target;
   g.next_rel = g.arrivals->next_after(0.0, g.rng);
   g.sim->schedule_at(g.epoch + g.next_rel, ArrivalFn{&st, &g});
 }
@@ -150,6 +217,7 @@ std::uint64_t arm_fixed_round(CampaignState& st, std::uint32_t round) {
     st.round_done = true;
     st.completed_at = st.groups[0].sim->now();
     st.round_samples = u.sample_count;
+    st.round_weight = u.weight;
   };
   spawn_cold(tc, cfg);
   Group& g0 = st.groups[0];
@@ -195,6 +263,13 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
   }
   const auto wall0 = std::chrono::steady_clock::now();
   const bool planned = cfg.hierarchy == HierarchyMode::kPlanned;
+  const bool async = cfg.hierarchy == HierarchyMode::kAsync;
+  const bool orchestrated = planned || async;  // has planner + hierarchies
+  if (cfg.straggler_fraction < 0.0 || cfg.straggler_fraction > 1.0 ||
+      !std::isfinite(cfg.straggler_fraction)) {
+    throw std::invalid_argument(
+        "sharded campaign: straggler_fraction must be in [0, 1]");
+  }
   const bool ck = cfg.checkpoint_every_secs > 0.0;
   const bool resume = cfg.resume_blob != nullptr || !cfg.resume_path.empty();
   if (resume && !ck) {
@@ -229,7 +304,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
                                   cfg.ramp_secs, cfg.diurnal_amplitude,
                                   cfg.diurnal_period_secs};
 
-  if (planned) {
+  if (orchestrated) {
     ctrl::CampaignPlanner::Config pcfg;
     pcfg.updates_per_leaf = cfg.updates_per_leaf;
     pcfg.middle_fanin = cfg.middle_fanin;
@@ -257,7 +332,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
         pop_per_group, /*mobile=*/true, g.rng,
         /*first_id=*/1'000'000 + gi * pop_per_group);
     g.arrivals = std::make_unique<wl::ArrivalProcess>(acfg);
-    if (planned) {
+    if (orchestrated) {
       StreamingHierarchy::Config hcfg;
       hcfg.group = gi;
       hcfg.node = 0;
@@ -271,6 +346,12 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
       hcfg.replan_interval = cfg.replan_interval_secs;
       hcfg.cold_start_spawns = cfg.cold_start_spawns;
       hcfg.on_relay_result = GroupRelay{&st, gi};
+      if (async) {
+        hcfg.async = true;
+        hcfg.seal_deadline_secs = cfg.async_deadline_secs;
+        hcfg.flush_updates = cfg.async_flush_updates;
+        hcfg.live_version = st.planner->version_ptr(gi);
+      }
       g.hier = std::make_unique<StreamingHierarchy>(*g.plane, *st.planner,
                                                     hcfg);
     }
@@ -295,8 +376,131 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
                                                       0, cfg.checkpoint_cost);
   }
 
-  for (std::uint32_t round = resume ? cut.round : 1; round <= cfg.rounds;
-       ++round) {
+  if (async) {
+    // ---- asynchronous mode: ONE continuous stream, no round barrier.
+    // `rounds` counts model versions; the recurring top seals a FedBuff
+    // buffer (emits a version) every `uploads_per_round()` folded updates
+    // and the stream ends when all rounds × uploads_per_round() updates
+    // have folded. The checkpoint boundary is the stream start (cut.round
+    // is always 1); any mid-stream crash replays from there to the mark.
+    double epoch = 0.0;
+    for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+      epoch = std::max(epoch, sharded.shard(s).now());
+    }
+    st.round_done = false;
+    st.out = &result;
+    st.async_quota = static_cast<std::uint64_t>(cfg.uploads_per_round());
+    st.async_total = st.async_quota * cfg.rounds;
+    st.async_folded = 0;
+    st.async_version = 1;
+    st.version_started_at = epoch;
+    std::uint64_t spawned = 0;
+    std::uint64_t reused = 0;
+
+    std::vector<std::uint8_t> boundary;
+    if (ck) {
+      const auto enc0 = std::chrono::steady_clock::now();
+      boundary = CampaignCheckpoint::encode_boundary(st, result, 1);
+      result.checkpoint_encode_secs += wall_since(enc0);
+      st.ckpt_blob_bytes =
+          boundary.size() + CampaignCheckpoint::cut_trailer_bytes();
+    }
+
+    // The recurring top on group 0: a version-cadence buffer, re-targeted
+    // by on_version after every emission. expected_version stays 0 — any
+    // version folds; staleness is discounted at the leaves, not here.
+    fl::AggregatorRuntime::Config tc;
+    tc.id = 1;
+    tc.node = 0;
+    tc.role = fl::AggRole::kTop;
+    tc.timing = fl::AggTiming::kEager;
+    tc.goal = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(st.async_quota, st.async_total));
+    tc.goal_kind = fl::GoalKind::kFoldedUpdates;
+    tc.recurring = true;
+    tc.result_bytes = cfg.model_bytes;
+    tc.on_result = [&st](fl::ModelUpdate u) { on_version(st, std::move(u)); };
+    spawn_cold(tc, cfg);
+    st.top_rt = std::make_unique<fl::AggregatorRuntime>(*st.groups[0].plane,
+                                                        std::move(tc));
+    st.top_rt->start();
+    ++spawned;
+    st.top = st.top_rt.get();
+
+    // Every group starts the stream at server version 1 (the coordinator
+    // seeds the slots before any shard runs, so no race and no post).
+    for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
+      st.planner->set_version(gi, 1);
+    }
+
+    const std::vector<double> expected(
+        cfg.groups, static_cast<double>(cfg.per_group_target()));
+    const ctrl::CampaignPlan plan = st.planner->plan_round(expected);
+    const std::uint64_t per_group_stream =
+        static_cast<std::uint64_t>(cfg.per_group_target()) * cfg.rounds;
+    for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
+      st.groups[gi].hier->begin_stream(per_group_stream, plan.groups[gi]);
+      arm_arrivals(st, st.groups[gi], 1, epoch, per_group_stream);
+    }
+
+    // ---- run the stream, emitting checkpoints on the mark grid (same
+    // pulse + pause machinery as the synchronous rounds).
+    if (ck) {
+      const double every = cfg.checkpoint_every_secs;
+      const double first = first_mark_after(epoch, every);
+      st.groups[0].sim->schedule_at(first, CkptPulse{&st, first});
+      double m = first;
+      for (;;) {
+        sharded.run_to(m);
+        if (st.round_done || sharded.pending_regular() == 0) break;
+        const bool replayed = resume && m <= cut.mark;
+        if (!replayed) {
+          const auto enc0 = std::chrono::steady_clock::now();
+          const std::vector<std::uint8_t> blob =
+              CampaignCheckpoint::with_cut(boundary, m);
+          result.checkpoint_encode_secs += wall_since(enc0);
+          ++result.checkpoints_written;
+          result.checkpoint_bytes += blob.size();
+          if (!cfg.checkpoint_path.empty()) {
+            CampaignCheckpoint::write_file(cfg.checkpoint_path, blob);
+          }
+          if (cfg.on_checkpoint) cfg.on_checkpoint(blob, 1, m);
+        }
+        m += every;
+      }
+      sharded.run();
+    } else {
+      sharded.run();
+    }
+    if (!st.round_done) {
+      throw std::runtime_error(
+          "sharded campaign: async stream did not complete");
+    }
+
+    // ---- stream epilogue (coordinator, shards idle): park the fleet and
+    // attribute the stream's churn to its first version entry — spawns
+    // happen only while the initial fleet ramps; steady state is zero.
+    for (auto& g : st.groups) {
+      const StreamingHierarchy::Stats& rs = g.hier->round_stats();
+      spawned += rs.spawned;
+      reused += rs.reused;
+      result.replans += rs.replans;
+      result.leaf_drains += rs.drains;
+      result.peak_leaves = std::max(result.peak_leaves, rs.peak_leaves);
+      g.hier->end_round();
+    }
+    result.round_spawned.assign(result.round_started_at.size(), 0);
+    result.round_reused.assign(result.round_started_at.size(), 0);
+    if (!result.round_spawned.empty()) {
+      result.round_spawned.front() = spawned;
+      result.round_reused.front() = reused;
+    }
+    result.spawned_total += spawned;
+    result.reused_total += reused;
+  }
+
+  for (std::uint32_t round = resume ? cut.round : 1;
+       !async && round <= cfg.rounds; ++round) {
     // Round epoch: the latest group clock — identical for every shard
     // count (each group's event times are shard-count independent).
     double epoch = 0.0;
@@ -335,6 +539,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
         st.round_done = true;
         st.completed_at = st.groups[0].sim->now();
         st.round_samples = u.sample_count;
+        st.round_weight = u.weight;
       };
       if (st.top_rt && cfg.reuse) {
         st.top_rt->rearm(std::move(tc));
@@ -360,7 +565,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     }
 
     for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
-      arm_arrivals(st, st.groups[gi], round, epoch);
+      arm_arrivals(st, st.groups[gi], round, epoch, cfg.per_group_target());
     }
 
     // ---- run the round to completion across all shards.
@@ -406,6 +611,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     result.round_started_at.push_back(epoch);
     result.round_completed_at.push_back(st.completed_at);
     result.round_samples.push_back(st.round_samples);
+    result.round_weight.push_back(st.round_weight);
 
     // Round-boundary bookkeeping (coordinator thread, sims idle).
     if (planned) {

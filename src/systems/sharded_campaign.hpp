@@ -20,6 +20,17 @@ enum class HierarchyMode : std::uint8_t {
   kPlanned,  ///< the streaming hierarchy orchestrator: planner-driven
              ///< multi-level trees (leaf → middle → group relay → top),
              ///< mid-round re-planning, warm cross-round instance reuse
+  kAsync,    ///< asynchronous buffered aggregation (FedBuff/FedAsync): the
+             ///< same orchestrator with the round barrier removed. The
+             ///< whole campaign is ONE continuous arrival stream;
+             ///< `rounds` becomes the number of model *versions* — the
+             ///< recurring top emits a version every `uploads_per_round()`
+             ///< folded updates and broadcasts it to every group's
+             ///< server-version slot; leaves fold any version at the
+             ///< FedAsync staleness discount 1/(1+staleness) and seal
+             ///< their buffers on count or `async_deadline_secs`. Same
+             ///< determinism, shard-equivalence and checkpoint guarantees
+             ///< as the synchronous modes.
 };
 
 /// A mega-campaign (examples/mega_campaign) partitioned into node *groups*
@@ -72,6 +83,24 @@ struct ShardedCampaignConfig {
   /// modes; warm re-arms never do).
   bool cold_start_spawns = true;
 
+  // ---- asynchronous mode (hierarchy == kAsync) -------------------------
+  /// Leaf-buffer seal deadline in simulated seconds (0 = seal on count
+  /// only): a buffer holding at least one update this long is force-sealed
+  /// so delayed stragglers cannot pin a partial batch.
+  double async_deadline_secs = 0.0;
+  /// Relay flush threshold in folded client updates (0 = one middle's
+  /// worth: middle_fanin × updates_per_leaf).
+  std::uint32_t async_flush_updates = 0;
+
+  // ---- stragglers (both modes; the fig9 sync-vs-async A/B knob) --------
+  /// Deterministic fraction of arrivals whose upload is delayed by
+  /// `straggler_delay_secs` (hash of the group-local arrival sequence, so
+  /// identical for every shard count). Synchronous rounds stall on them;
+  /// async versions keep bumping on count and fold them late at the
+  /// staleness discount.
+  double straggler_fraction = 0.0;
+  double straggler_delay_secs = 60.0;
+
   // ---- checkpoint/restore (sys::CampaignCheckpoint) --------------------
   /// Snapshot cadence on the *global simulated-time grid* k·every (0 =
   /// off). Each crossed mark bills the CheckpointManager cost model in-sim
@@ -115,10 +144,19 @@ struct ShardedGroupStats {
   double cpu_cycles = 0.0;          ///< node CPU ledger total
 };
 
+/// Per-round (sync) or per-model-version (async) and whole-campaign
+/// telemetry. In async mode the `round_*` vectors hold one entry per
+/// *emitted model version*; `round_spawned`/`round_reused` attribute the
+/// stream's churn to its first entry (spawns happen while the initial
+/// fleet ramps; steady state spawns zero — the entries after the first).
 struct ShardedCampaignResult {
   std::vector<double> round_started_at;    ///< round epoch (sim s)
   std::vector<double> round_completed_at;  ///< top aggregate landed (sim s)
-  std::vector<std::uint64_t> round_samples;  ///< global FedAvg weight
+  std::vector<std::uint64_t> round_samples;  ///< global FedAvg weight (raw)
+  /// Effective (staleness-discounted) FedAvg weight per round/version.
+  /// Equals `round_samples` bitwise in synchronous mode and in an async
+  /// run with no stale folds; the gap is exactly the staleness discount.
+  std::vector<double> round_weight;
   /// Aggregator-runtime churn per round, across all groups plus the top:
   /// `spawned` counts constructions (each pays the cold start when
   /// `cold_start_spawns`), `reused` counts warm in-place re-arms. With the

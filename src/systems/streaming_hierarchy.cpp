@@ -95,7 +95,10 @@ fl::AggregatorRuntime::Config StreamingHierarchy::leaf_config(
   lc.goal_kind = fl::GoalKind::kMessages;
   lc.result_bytes = cfg_.result_bytes;
   lc.pull_from_pool = true;
+  // Sync rounds gate on the round's version; async buffers accept any
+  // version and discount it by staleness against the live server version.
   lc.expected_version = round_num_;
+  if (cfg_.async) lc.live_version = cfg_.live_version;
   LeafSlot* sp = const_cast<LeafSlot*>(&s);
   lc.on_result = [this, sp](fl::ModelUpdate u) {
     on_leaf_batch(sp, std::move(u));
@@ -122,10 +125,52 @@ bool StreamingHierarchy::activate_leaf() {
   s->middle = assign_parent(b);
   s->retiring = false;
   s->rt = acquire(leaf_config(*s));
+  arm_leaf_deadline(*s);
   ++active_;
   round_.peak_leaves = std::max(round_.peak_leaves, active_);
   total_.peak_leaves = std::max(total_.peak_leaves, active_);
   return true;
+}
+
+std::uint32_t StreamingHierarchy::relay_flush() const {
+  if (cfg_.flush_updates > 0) return cfg_.flush_updates;
+  return std::max<std::uint32_t>(
+      1, planner_.config().middle_fanin * cfg_.updates_per_leaf);
+}
+
+void StreamingHierarchy::arm_leaf_deadline(LeafSlot& s) {
+  ++s.gen;  // invalidates any timer of the previous activation
+  if (!cfg_.async || cfg_.seal_deadline_secs <= 0.0) return;
+  LeafSlot* sp = &s;
+  const std::uint64_t gen = s.gen;
+  sim().schedule_after(cfg_.seal_deadline_secs,
+                       [this, sp, gen] { flush_leaf(sp, gen); });
+}
+
+void StreamingHierarchy::flush_leaf(LeafSlot* s, std::uint64_t gen) {
+  // Slot pointers are stable (slots_ holds unique_ptrs); a timer from a
+  // superseded activation — the leaf completed and re-armed, retired, or
+  // parked — recognizes itself by generation/state and dies, which is also
+  // what lets the event chain drain once the stream is over.
+  if (relay_done_ || !s->rt || s->retiring || s->gen != gen) return;
+  const std::uint32_t have = s->rt->received();
+  if (have == 0) {
+    // Empty buffer: nothing to seal; push the deadline back.
+    sim().schedule_after(cfg_.seal_deadline_secs,
+                         [this, s, gen] { flush_leaf(s, gen); });
+    return;
+  }
+  if (have >= s->batch) return;  // full — the count seal is already firing
+  // Seal on deadline: release the unfilled remainder of the claim (for
+  // this or any other leaf to re-claim) and force the partial buffer out.
+  // Same drain path as a shrink-retire, but the leaf stays active and
+  // re-claims in on_leaf_batch.
+  const std::uint64_t unfilled = s->batch - have;
+  claimed_ -= unfilled;
+  s->batch = have;
+  ++round_.drains;
+  ++total_.drains;
+  s->rt->drain();
 }
 
 void StreamingHierarchy::retire_leaf(LeafSlot& s) {
@@ -184,6 +229,7 @@ void StreamingHierarchy::on_leaf_batch(LeafSlot* s, fl::ModelUpdate u) {
   s->batch = b;
   s->middle = assign_parent(b);
   s->rt->rearm(leaf_config(*s));  // streaming self-re-arm: same warm sandbox
+  arm_leaf_deadline(*s);
 }
 
 void StreamingHierarchy::apply_leaf_target(std::uint32_t target) {
@@ -234,6 +280,7 @@ void StreamingHierarchy::begin_round(std::uint32_t round,
   round_num_ = round;
   target_ = target;
   claimed_ = 0;
+  forwarded_ = 0;
   sealed_ = false;
   relay_done_ = false;
   rr_ = 0;
@@ -296,6 +343,76 @@ void StreamingHierarchy::begin_round(std::uint32_t round,
   // ---- mid-round re-planning: a deterministic group-local pulse; it ends
   // itself once the group's relay completed, so it cannot keep the
   // simulation alive past the round.
+  if (cfg_.replan_interval > 0.0 && !relay_done_) {
+    sim::schedule_every(sim(), sim().now() + cfg_.replan_interval,
+                        cfg_.replan_interval,
+                        [this] { return sampler_tick(); });
+  }
+}
+
+void StreamingHierarchy::begin_stream(std::uint64_t target,
+                                      const ctrl::GroupPlan& plan) {
+  round_num_ = 0;  // async: no round — leaf configs accept any version
+  target_ = target;
+  claimed_ = 0;
+  forwarded_ = 0;
+  sealed_ = false;
+  relay_done_ = false;
+  rr_ = 0;
+  round_ = Stats{};
+  auto& pool = plane_.env(cfg_.node).pool;
+  pool.clear_waiters();
+  last_pushed_ = pool.total_pushed();
+  if (target == 0) {
+    relay_done_ = true;
+    planner_.set_current(cfg_.group, 0);
+    return;
+  }
+
+  // ---- relay: a recurring FedBuff forwarder. It folds leaf partials and
+  // flushes upward every relay_flush() folded client updates, re-targeting
+  // the remainder at the tail, so the top receives a continuous stream of
+  // partial aggregates — the group never waits for a round barrier. The
+  // folded-count goal keeps the total invariant under every tree shape
+  // and deadline seal below it.
+  fl::AggregatorRuntime::Config rc;
+  rc.id = cfg_.relay_id;
+  rc.node = cfg_.node;
+  rc.role = fl::AggRole::kMiddle;
+  rc.timing = fl::AggTiming::kEager;
+  rc.goal = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(relay_flush(), target));
+  rc.goal_kind = fl::GoalKind::kFoldedUpdates;
+  rc.recurring = true;
+  rc.result_bytes = cfg_.result_bytes;
+  rc.on_result = [this](fl::ModelUpdate u) {
+    forwarded_ += u.updates_folded;
+    const std::uint64_t left =
+        target_ - std::min<std::uint64_t>(forwarded_, target_);
+    if (cfg_.on_relay_result) cfg_.on_relay_result(std::move(u));
+    if (left == 0) {
+      relay_done_ = true;  // every update of the stream has been forwarded
+    } else {
+      relay_->set_goal(static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(relay_flush(), left)));
+    }
+  };
+  relay_ = acquire(std::move(rc));
+
+  // ---- leaves: the same claim machinery as a round (so warm parking,
+  // mid-stream re-planning and drains all apply), but each activation is a
+  // FedBuff buffer — count goal of one batch, deadline seal, staleness
+  // weighting. No middle level: partial batches flush continuously, so a
+  // middle's batch boundary would add latency for no fan-in relief.
+  middles_.clear();
+  const std::uint32_t initial = std::max<std::uint32_t>(1, plan.leaves);
+  while (active_ < initial && activate_leaf()) {
+  }
+  planner_.set_current(cfg_.group, active_);
+
+  // ---- buffer-pressure re-planning: same deterministic group-local pulse
+  // as a round; the sampled signal (pool depth + arrival flux) *is* the
+  // leaf-buffer pressure here.
   if (cfg_.replan_interval > 0.0 && !relay_done_) {
     sim::schedule_every(sim(), sim().now() + cfg_.replan_interval,
                         cfg_.replan_interval,

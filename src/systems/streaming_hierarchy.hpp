@@ -46,6 +46,15 @@ void apply_lifl_cold_start(fl::AggregatorRuntime::Config& cfg);
 ///    unfilled remainder of their claim is released for survivors to
 ///    re-claim, and no update is lost.
 ///
+/// **Asynchronous streams** (`begin_stream`, campaign mode kAsync) reuse
+/// the identical machinery with the round barrier removed: the target is
+/// the whole campaign's update stream, leaves are FedBuff buffers that
+/// seal on count or deadline and fold with FedAsync staleness weights
+/// against the group's server-version slot, and the relay forwards partial
+/// aggregates continuously (a recurring runtime) instead of waiting for
+/// the full round. Re-planning samples buffer pressure (queued updates +
+/// arrival flux) with the same EWMA/hysteresis rule.
+///
 /// Every decision is made in group-local event order (the planner slot,
 /// the pool, the claims), so results are bitwise identical for any shard
 /// count, and the *final model* is invariant under the number of re-plans.
@@ -70,8 +79,27 @@ class StreamingHierarchy {
     /// instances never do.
     bool cold_start_spawns = true;
     /// Sink for the relay's round aggregate (the group's one cross-group
-    /// message; the campaign posts it to the top aggregator's shard).
+    /// message; the campaign posts it to the top aggregator's shard). In
+    /// async mode it fires once per relay *flush* instead of once per
+    /// round.
     fl::AggregatorRuntime::ResultFn on_relay_result;
+
+    // ---- asynchronous streaming (`begin_stream`) -------------------------
+    /// Run FedBuff-style buffers instead of a synchronous round: leaves
+    /// accept any model version (staleness-weighted via `live_version`),
+    /// seal on count or on `seal_deadline_secs`, and the relay becomes a
+    /// recurring forwarder flushing every `flush_updates` folded updates.
+    bool async = false;
+    /// Leaf-buffer seal deadline in simulated seconds (0 = seal on count
+    /// only). A buffer that holds at least one update for this long is
+    /// force-sealed (`drain`) so stragglers cannot pin a partial batch.
+    double seal_deadline_secs = 0.0;
+    /// Relay flush threshold in folded client updates (0 = one middle's
+    /// worth: planner middle_fanin × updates_per_leaf).
+    std::uint32_t flush_updates = 0;
+    /// The group's server-version slot (planner `version_ptr`): wired into
+    /// leaf configs so folds are discounted by staleness.
+    const std::uint32_t* live_version = nullptr;
   };
 
   /// Spawn/reuse/re-plan accounting; `round_stats` resets at begin_round.
@@ -98,9 +126,21 @@ class StreamingHierarchy {
   void begin_round(std::uint32_t round, std::uint64_t target,
                    const ctrl::GroupPlan& plan);
 
-  /// Park the round's remaining instances into the warm pool (coordinator
-  /// thread, shard idle, after the round completed). With reuse disabled
-  /// the pool is dropped instead.
+  /// Arm the group's tree for one continuous asynchronous stream of
+  /// `target` client updates (kAsync: the whole campaign, not one round).
+  /// Same claim machinery and warm pool as `begin_round`, but the leaves
+  /// are FedBuff buffers — they accept any model version, fold with
+  /// staleness-discounted weights against `Config::live_version`, and seal
+  /// on count *or* on `Config::seal_deadline_secs` — and the relay is a
+  /// recurring forwarder that flushes partial aggregates upward every
+  /// `Config::flush_updates` folded updates (shrinking to the remainder at
+  /// the tail), so nothing ever waits for a round barrier. `round_done()`
+  /// flips when all `target` updates have been forwarded.
+  void begin_stream(std::uint64_t target, const ctrl::GroupPlan& plan);
+
+  /// Park the round's (or stream's) remaining instances into the warm pool
+  /// (coordinator thread, shard idle, after the round completed). With
+  /// reuse disabled the pool is dropped instead.
   void end_round();
 
   /// Re-materialize the cross-round warm state from a checkpoint onto a
@@ -140,6 +180,9 @@ class StreamingHierarchy {
     std::uint64_t batch = 0;    ///< size of the currently claimed batch
     std::size_t middle = kNoMiddle;  ///< parent middle, or relay
     bool retiring = false;
+    /// Activation generation: bumped at every (re)arm so a parked deadline
+    /// timer from an earlier activation recognizes it is stale.
+    std::uint64_t gen = 0;
   };
   struct Middle {
     fl::ParticipantId id = 0;
@@ -168,6 +211,14 @@ class StreamingHierarchy {
   void park_leaf(LeafSlot& s);
   void on_leaf_batch(LeafSlot* s, fl::ModelUpdate u);
   bool sampler_tick();
+  /// Relay flush threshold (async): Config::flush_updates or one middle's
+  /// worth.
+  std::uint32_t relay_flush() const;
+  /// Bump the slot generation and, in async mode, start its seal deadline.
+  void arm_leaf_deadline(LeafSlot& s);
+  /// Deadline fire: force-seal the slot's partial buffer (if still on the
+  /// same activation), or push the deadline back if nothing arrived yet.
+  void flush_leaf(LeafSlot* s, std::uint64_t gen);
 
   dp::DataPlane& plane_;
   ctrl::CampaignPlanner& planner_;
@@ -182,6 +233,7 @@ class StreamingHierarchy {
   std::uint32_t round_num_ = 0;
   std::uint64_t target_ = 0;
   std::uint64_t claimed_ = 0;
+  std::uint64_t forwarded_ = 0;  ///< async: client updates relayed upward
   bool sealed_ = false;      ///< the round's batches are fully assigned
   bool relay_done_ = false;
   std::uint32_t active_ = 0;     ///< live, non-retiring leaves

@@ -1,12 +1,15 @@
-// Tests for model checkpointing (Appendix B) and the asynchronous
-// aggregation engine (Fig. 11): checkpoint cadence and asynchrony (off the
-// critical path), async version production, eager/lazy folding, staleness
-// control, and stateless shutdown.
+// Tests for model checkpointing (Appendix B) and asynchronous buffered
+// aggregation (Fig. 11, a *recurring* AggregatorRuntime): checkpoint
+// cadence and asynchrony (off the critical path), async version
+// production, eager/lazy folding, staleness control, and stateless
+// shutdown.
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "src/fl/aggregator_runtime.hpp"
-#include "src/fl/async_engine.hpp"
 #include "src/fl/checkpoint.hpp"
 #include "src/fl/model_spec.hpp"
 
@@ -161,19 +164,51 @@ TEST(CheckpointManager, OverlappingCheckpointNeverDelaysAggregation) {
             static_cast<std::uint64_t>(models::resnet152().bytes()));
 }
 
-// ----------------------------------------------------------- async engine
+// ------------------------------------------- async buffered aggregation
+//
+// FedBuff-style asynchrony is a *recurring* AggregatorRuntime pulling from
+// the node pool: every `goal` accepted updates emit a new global version
+// (on_result), the caller owns the version counter, and `live_version` /
+// `max_staleness` provide the staleness control. This retired the old
+// standalone AsyncEngine — same semantics, one runtime.
 
 struct AsyncWorld {
   sim::Simulator sim;
   sim::Cluster cluster;
   dp::DataPlane plane;
 
+  // Caller-owned version state: bumped by the runtime's on_result.
+  std::uint32_t version = 1;
+  std::vector<double> version_times;
+  std::unique_ptr<AggregatorRuntime> rt;
+
   AsyncWorld()
       : cluster(sim, 1), plane(cluster, dp::lifl_plane(), sim::Rng(7)) {}
 
-  void upload(std::uint32_t version, std::size_t bytes = 1'000'000) {
+  void start(std::uint32_t goal, AggTiming timing,
+             std::uint32_t max_staleness = 1'000'000) {
+    AggregatorRuntime::Config c;
+    c.id = 1;
+    c.node = 0;
+    c.role = AggRole::kTop;
+    c.timing = timing;
+    c.goal = goal;
+    c.recurring = true;
+    c.pull_from_pool = true;
+    c.result_bytes = 1'000'000;
+    c.live_version = &version;
+    c.max_staleness = max_staleness;
+    c.on_result = [this](ModelUpdate) {
+      version_times.push_back(sim.now());
+      ++version;
+    };
+    rt = std::make_unique<AggregatorRuntime>(plane, c);
+    rt->start();
+  }
+
+  void upload(std::uint32_t v, std::size_t bytes = 1'000'000) {
     ModelUpdate u;
-    u.model_version = version;
+    u.model_version = v;
     u.producer = 500;
     u.sample_count = 10;
     u.logical_bytes = bytes;
@@ -181,85 +216,63 @@ struct AsyncWorld {
   }
 };
 
-AsyncEngine::Config async_cfg(std::uint32_t goal, AggTiming timing) {
-  AsyncEngine::Config cfg;
-  cfg.node = 0;
-  cfg.aggregation_goal = goal;
-  cfg.timing = timing;
-  cfg.update_bytes = 1'000'000;
-  return cfg;
-}
-
-TEST(AsyncEngine, EmitsVersionEveryGoalUpdates) {
+TEST(AsyncAggregation, EmitsVersionEveryGoalUpdates) {
   AsyncWorld w;
-  AsyncEngine engine(w.plane, async_cfg(3, AggTiming::kEager));
-  engine.start();
-  for (int i = 0; i < 7; ++i) w.upload(engine.current_version());
+  w.start(3, AggTiming::kEager);
+  for (int i = 0; i < 7; ++i) w.upload(w.version);
   w.sim.run();
-  EXPECT_EQ(engine.version_times().size(), 2u);  // 7 updates / goal 3
-  EXPECT_EQ(engine.current_version(), 3u);       // started at 1
+  EXPECT_EQ(w.rt->emissions(), 2u);  // 7 updates / goal 3
+  EXPECT_EQ(w.version_times.size(), 2u);
+  EXPECT_EQ(w.version, 3u);  // started at 1
 }
 
-TEST(AsyncEngine, LazyAndEagerFoldTheSameUpdates) {
+TEST(AsyncAggregation, LazyAndEagerFoldTheSameUpdates) {
   for (const auto timing : {AggTiming::kEager, AggTiming::kLazy}) {
     AsyncWorld w;
-    AsyncEngine engine(w.plane, async_cfg(4, timing));
-    engine.start();
+    w.start(4, timing);
     for (int i = 0; i < 8; ++i) w.upload(1);
     w.sim.run();
-    EXPECT_EQ(engine.version_times().size(), 2u)
+    EXPECT_EQ(w.rt->emissions(), 2u)
         << "timing=" << static_cast<int>(timing);
   }
 }
 
-TEST(AsyncEngine, DropsUpdatesBeyondMaxStaleness) {
+TEST(AsyncAggregation, DropsUpdatesBeyondMaxStaleness) {
   AsyncWorld w;
-  auto cfg = async_cfg(2, AggTiming::kEager);
-  cfg.max_staleness = 1;
-  AsyncEngine engine(w.plane, cfg);
-  engine.start();
+  w.start(2, AggTiming::kEager, /*max_staleness=*/1);
   // Advance to version 3.
-  for (int i = 0; i < 4; ++i) w.upload(engine.current_version());
+  for (int i = 0; i < 4; ++i) w.upload(w.version);
   w.sim.run();
-  ASSERT_EQ(engine.current_version(), 3u);
+  ASSERT_EQ(w.version, 3u);
   // A version-1 update is 2 behind: dropped.
   w.upload(1);
   w.sim.run();
-  EXPECT_EQ(engine.stale_dropped(), 1u);
+  EXPECT_EQ(w.rt->stale_dropped(), 1u);
+  EXPECT_EQ(w.rt->emissions(), 2u);
 }
 
-TEST(AsyncEngine, StopReturnsLazyBufferToPool) {
+TEST(AsyncAggregation, StopReturnsLazyBufferToPool) {
   AsyncWorld w;
-  AsyncEngine engine(w.plane, async_cfg(5, AggTiming::kLazy));
-  engine.start();
+  w.start(5, AggTiming::kLazy);
   w.upload(1);
   w.upload(1);
   w.sim.run();
-  engine.stop();
+  w.rt->stop();
   w.sim.run();
   // Under-goal lazy batch: both updates are back in the shared pool.
   EXPECT_EQ(w.plane.env(0).pool.depth(), 2u);
 }
 
-TEST(AsyncEngine, VersionTimesAreMonotone) {
+TEST(AsyncAggregation, VersionTimesAreMonotone) {
   AsyncWorld w;
-  AsyncEngine engine(w.plane, async_cfg(2, AggTiming::kEager));
-  engine.start();
+  w.start(2, AggTiming::kEager);
   for (int i = 0; i < 10; ++i) {
-    w.sim.schedule_after(1.0 * i, [&w, &engine] {
-      ModelUpdate u;
-      u.model_version = engine.current_version();
-      u.producer = 500;
-      u.sample_count = 10;
-      u.logical_bytes = 1'000'000;
-      w.plane.seed_update(0, std::move(u));
-    });
+    w.sim.schedule_after(1.0 * i, [&w] { w.upload(w.version); });
   }
   w.sim.run();
-  const auto& times = engine.version_times();
-  ASSERT_GE(times.size(), 3u);
-  for (std::size_t i = 1; i < times.size(); ++i) {
-    EXPECT_GT(times[i], times[i - 1]);
+  ASSERT_GE(w.version_times.size(), 3u);
+  for (std::size_t i = 1; i < w.version_times.size(); ++i) {
+    EXPECT_GT(w.version_times[i], w.version_times[i - 1]);
   }
 }
 

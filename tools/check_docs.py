@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (the CI `docs` job).
+
+1. Every repo-relative markdown link in the checked documents resolves to
+   an existing file or directory (anchors and external URLs are ignored).
+2. Every bench target (`bench/*.cpp`) is mentioned in docs/BENCHMARKS.md,
+   so the bench catalogue cannot silently drift from the tree.
+
+Exits non-zero with one line per violation.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOCS = [
+    REPO / "README.md",
+    REPO / "docs" / "ARCHITECTURE.md",
+    REPO / "docs" / "BENCHMARKS.md",
+]
+
+# [text](target) — excluding images and in-page/external targets.
+LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def check_links(doc: pathlib.Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(REPO)}:{lineno}: broken link "
+                    f"'{target}' -> {resolved}"
+                )
+    return errors
+
+
+def check_bench_catalogue() -> list[str]:
+    benchmarks_md = (REPO / "docs" / "BENCHMARKS.md").read_text()
+    errors = []
+    for src in sorted((REPO / "bench").glob("*.cpp")):
+        if src.stem not in benchmarks_md:
+            errors.append(
+                f"docs/BENCHMARKS.md: bench target '{src.stem}' "
+                f"(bench/{src.name}) is not documented"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = []
+    for doc in DOCS:
+        if not doc.exists():
+            errors.append(f"missing document: {doc.relative_to(REPO)}")
+            continue
+        errors.extend(check_links(doc))
+    errors.extend(check_bench_catalogue())
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"docs OK: {len(DOCS)} documents, links resolve, "
+              "bench catalogue complete")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
