@@ -1,0 +1,178 @@
+// Fault-recovery microbench: lossless-recovery overhead for a 1M-client,
+// 8-node-group planned-mode mega-campaign under a fixed sim::FaultPlan
+// with a 10% per-round leaf crash rate (plus middle and top crashes).
+//
+// The campaign runs twice — fault-free and faulted — and the bench
+// reports crash/recovery telemetry and the *simulated* round-time
+// overhead recovery adds. Two properties gate:
+//   1. Conservation: every round folds exactly the fault-free sample sum
+//      (crashed aggregators' un-acked pool claims return and re-fold;
+//      nothing lost, nothing double-counted).
+//   2. Overhead: mean simulated round time under faults stays within 25%
+//      of fault-free — recovery re-claims from the warm pool instead of
+//      restarting the round.
+//
+// Emits BENCH_fault_recovery.json. CI runs it in Release and fails the
+// job on a gate miss (LIFL_FAULT_BENCH_GATE=0 disables the gate).
+//
+// Build & run:  cmake -B build && cmake --build build -j
+//               ./build/bench/micro_fault_recovery
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "src/systems/sharded_campaign.hpp"
+#include "src/systems/table.hpp"
+
+using namespace lifl;
+
+namespace {
+
+sys::ShardedCampaignConfig bench_campaign() {
+  sys::ShardedCampaignConfig cfg;
+  cfg.shards = 1;  // sim time is shard-count invariant; keep wall cost low
+  cfg.groups = 8;  // the paper's 8-node cluster
+  cfg.rounds = 2;
+  cfg.leaves_per_group = 62;
+  cfg.updates_per_leaf = 500;  // 248k uploads/round, 1M-client population
+  cfg.model_bytes = 100'000;
+  cfg.population = 1'000'000;
+  cfg.peak_per_sec = 2500.0;
+  cfg.ramp_secs = 60.0;
+  cfg.diurnal_amplitude = 0.3;
+  cfg.diurnal_period_secs = 600.0;
+  cfg.seed = 2026;
+  cfg.gateway_queues = 0;
+  cfg.hierarchy = sys::HierarchyMode::kPlanned;
+  cfg.replan_interval_secs = 5.0;
+  return cfg;
+}
+
+double mean_round_secs(const sys::ShardedCampaignResult& r) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < r.round_completed_at.size(); ++i) {
+    sum += r.round_completed_at[i] - r.round_started_at[i];
+  }
+  return sum / static_cast<double>(r.round_completed_at.size());
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchMeta meta;
+  const auto base = bench_campaign();
+  std::printf(
+      "fault-recovery microbench: %zu clients, %zu node groups, %zu rounds, "
+      "10%% per-round leaf crash rate\n\n",
+      base.population, base.groups, base.rounds);
+
+  const auto fault_free = sys::run_sharded_campaign(base);
+
+  auto faulted_cfg = base;
+  faulted_cfg.fault.seed = 404;
+  faulted_cfg.fault.leaf_crash_rate = 0.10;
+  faulted_cfg.fault.middle_crash_rate = 0.05;
+  faulted_cfg.fault.top_crash_rate = 1.0;  // one top crash every round
+  const auto faulted = sys::run_sharded_campaign(faulted_cfg);
+
+  // ---- conservation: zero lost client samples, round by round.
+  bool conserved =
+      faulted.round_samples.size() == fault_free.round_samples.size();
+  for (std::size_t r = 0; conserved && r < fault_free.round_samples.size();
+       ++r) {
+    conserved = faulted.round_samples[r] == fault_free.round_samples[r];
+  }
+  if (!conserved) {
+    std::fprintf(stderr,
+                 "FAIL: recovery lost client samples (faulted round sums "
+                 "differ from fault-free)\n");
+    return 1;
+  }
+  if (faulted.leaf_crashes == 0 || faulted.refolded_updates == 0) {
+    std::fprintf(stderr,
+                 "FAIL: the fault plan injected no leaf crashes — the bench "
+                 "measured nothing\n");
+    return 1;
+  }
+
+  const double free_round = mean_round_secs(fault_free);
+  const double faulted_round = mean_round_secs(faulted);
+  const double overhead = (faulted_round - free_round) / free_round;
+
+  sys::Table t({"metric", "fault-free", "faulted"});
+  t.row({"round sim time (s, mean)", sys::fmt(free_round, 3),
+         sys::fmt(faulted_round, 3)});
+  t.row({"leaf crashes", "0", std::to_string(faulted.leaf_crashes)});
+  t.row({"middle crashes", "0", std::to_string(faulted.middle_crashes)});
+  t.row({"top crashes", "0", std::to_string(faulted.top_crashes)});
+  t.row({"updates re-folded", "0",
+         std::to_string(faulted.refolded_updates)});
+  t.row({"partials re-injected", "0",
+         std::to_string(faulted.reinjected_partials)});
+  t.row({"recovery cold-start (s)", "0",
+         sys::fmt(faulted.recovery_secs, 3)});
+  t.row({"runtimes spawned", std::to_string(fault_free.spawned_total),
+         std::to_string(faulted.spawned_total)});
+  t.print("Lossless recovery at 1M clients, 10% leaf crash rate");
+  std::printf("round-time overhead: %.2f%%  (samples conserved: yes)\n",
+              overhead * 100.0);
+
+  FILE* out = std::fopen("BENCH_fault_recovery.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
+    std::fprintf(out,
+                 "  \"bench\": \"fault_recovery\",\n"
+                 "  \"population\": %zu,\n"
+                 "  \"groups\": %zu,\n"
+                 "  \"rounds\": %zu,\n"
+                 "  \"leaf_crash_rate\": %.3f,\n"
+                 "  \"leaf_crashes\": %llu,\n"
+                 "  \"middle_crashes\": %llu,\n"
+                 "  \"top_crashes\": %llu,\n"
+                 "  \"refolded_updates\": %llu,\n"
+                 "  \"reinjected_partials\": %llu,\n"
+                 "  \"recovery_secs\": %.6f,\n"
+                 "  \"round_secs_fault_free\": %.6f,\n"
+                 "  \"round_secs_faulted\": %.6f,\n"
+                 "  \"round_overhead_frac\": %.6f,\n"
+                 "  \"samples_conserved\": true\n"
+                 "}\n",
+                 base.population, base.groups, base.rounds,
+                 faulted_cfg.fault.leaf_crash_rate,
+                 static_cast<unsigned long long>(faulted.leaf_crashes),
+                 static_cast<unsigned long long>(faulted.middle_crashes),
+                 static_cast<unsigned long long>(faulted.top_crashes),
+                 static_cast<unsigned long long>(faulted.refolded_updates),
+                 static_cast<unsigned long long>(
+                     faulted.reinjected_partials),
+                 faulted.recovery_secs, free_round, faulted_round, overhead);
+    std::fclose(out);
+    std::printf("wrote BENCH_fault_recovery.json\n");
+  }
+
+  // ---- gate: recovery must stay cheap — re-claiming from the warm pool
+  // bounds the damage of a crash to the crashed instance's partial work,
+  // so a 10% leaf crash rate should cost far less than 25% of round time.
+  bool gate = true;
+  if (const char* env = std::getenv("LIFL_FAULT_BENCH_GATE")) {
+    gate = std::strcmp(env, "0") != 0;
+  }
+  if (!gate) {
+    std::printf("gate SKIPPED (LIFL_FAULT_BENCH_GATE=0)\n");
+    return 0;
+  }
+  if (overhead > 0.25) {
+    std::fprintf(stderr,
+                 "FAIL: faulted round time %.3f s is %.1f%% over the "
+                 "fault-free %.3f s (gate: 25%%)\n",
+                 faulted_round, overhead * 100.0, free_round);
+    return 1;
+  }
+  std::printf("gate OK: %.2f%% round-time overhead <= 25%%\n",
+              overhead * 100.0);
+  return 0;
+}

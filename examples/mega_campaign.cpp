@@ -223,10 +223,22 @@ struct AsyncOpts {
   double straggler_delay_secs = 60.0;
 };
 
+/// Fault-injection and graceful-degradation knobs (sharded path only).
+struct FaultOpts {
+  bool enabled = false;         ///< --fault-plan=SEED given
+  std::uint64_t seed = 1;       ///< fault schedule seed
+  double leaf_crash_rate = -1;  ///< <0: default 0.1 when the plan is on
+  double quorum = 1.0;          ///< --quorum=F: seal sync rounds at F
+  double round_deadline_secs = 60.0;
+
+  bool any() const { return enabled || quorum < 1.0; }
+};
+
 /// Run the campaign on the sharded core and print the per-round table.
 int run_sharded(const CampaignConfig& cfg, std::size_t shards,
                 sys::HierarchyMode mode, double replan_interval, bool reuse,
-                const CheckpointOpts& ck, const AsyncOpts& as) {
+                const CheckpointOpts& ck, const AsyncOpts& as,
+                const FaultOpts& fo) {
   sys::ShardedCampaignConfig scfg;
   scfg.shards = shards;
   scfg.groups = cfg.nodes;
@@ -249,6 +261,15 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
   scfg.async_deadline_secs = as.deadline_secs;
   scfg.straggler_fraction = as.straggler_fraction;
   scfg.straggler_delay_secs = as.straggler_delay_secs;
+  if (fo.enabled) {
+    scfg.fault.seed = fo.seed;
+    scfg.fault.leaf_crash_rate =
+        fo.leaf_crash_rate >= 0.0 ? fo.leaf_crash_rate : 0.1;
+  }
+  if (fo.quorum < 1.0) {
+    scfg.quorum = fo.quorum;
+    scfg.round_deadline_secs = fo.round_deadline_secs;
+  }
 
   const bool planned = mode == sys::HierarchyMode::kPlanned;
   const bool is_async = mode == sys::HierarchyMode::kAsync;
@@ -264,17 +285,29 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
     std::printf("stragglers: %.0f%% of uploads delayed %.0f s\n\n",
                 100.0 * as.straggler_fraction, as.straggler_delay_secs);
   }
+  if (fo.enabled) {
+    std::printf(
+        "fault plan: seed %llu, %.0f%% leaf crash rate — crashed "
+        "aggregators recover losslessly from their pool leases\n\n",
+        static_cast<unsigned long long>(scfg.fault.seed),
+        100.0 * scfg.fault.leaf_crash_rate);
+  }
+  if (fo.quorum < 1.0) {
+    std::printf("quorum: rounds seal at %.0f%% after a %.0f s deadline\n\n",
+                100.0 * fo.quorum, fo.round_deadline_secs);
+  }
 
   const auto r = sys::run_sharded_campaign(scfg);
   sys::Table t({is_async ? "version" : "round", "duration(sim s)",
-                "samples", "eff weight", "spawned", "reused"});
+                "samples", "eff weight", "spawned", "reused", "refolded"});
   for (std::size_t i = 0; i < r.round_completed_at.size(); ++i) {
     t.row({std::to_string(i + 1),
            sys::fmt(r.round_completed_at[i] - r.round_started_at[i], 2),
            std::to_string(r.round_samples[i]),
            sys::fmt(r.round_weight[i], 0),
            std::to_string(r.round_spawned[i]),
-           std::to_string(r.round_reused[i])});
+           std::to_string(r.round_reused[i]),
+           std::to_string(r.round_refolded[i])});
   }
   t.print(is_async
               ? "Asynchronous stream (seal on count/deadline; weights "
@@ -298,6 +331,22 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
         static_cast<unsigned long long>(r.reused_total),
         static_cast<unsigned long long>(r.replans),
         static_cast<unsigned long long>(r.leaf_drains), r.peak_leaves);
+  }
+  if (fo.any()) {
+    std::printf(
+        "recovery: %llu leaf / %llu middle / %llu top crashes, %llu updates "
+        "re-folded, %llu partials re-injected, %llu upload retries, "
+        "%llu quorum seals (%llu uploads abandoned), %.3f s cold-start "
+        "billed\n",
+        static_cast<unsigned long long>(r.leaf_crashes),
+        static_cast<unsigned long long>(r.middle_crashes),
+        static_cast<unsigned long long>(r.top_crashes),
+        static_cast<unsigned long long>(r.refolded_updates),
+        static_cast<unsigned long long>(r.reinjected_partials),
+        static_cast<unsigned long long>(r.upload_retries),
+        static_cast<unsigned long long>(r.quorum_seals),
+        static_cast<unsigned long long>(r.quorum_abandoned),
+        r.recovery_secs);
   }
   if (ck.every_secs > 0.0) {
     std::printf(
@@ -326,13 +375,15 @@ int main(int argc, char** argv) {
   bool reuse = true;
   CheckpointOpts ck;
   AsyncOpts as;
+  FaultOpts fo;
   const auto usage = [&argv] {
     std::fprintf(stderr,
                  "usage: %s [population >= 1000] [--shards=K] "
                  "[--hierarchy=fixed|planned|async] [--replan-interval=SECS] "
                  "[--reuse=0|1] [--checkpoint=PATH] [--resume=PATH] "
                  "[--checkpoint-every=SECS] [--async-deadline=SECS] "
-                 "[--stragglers=FRACTION] [--straggler-delay=SECS]\n",
+                 "[--stragglers=FRACTION] [--straggler-delay=SECS] "
+                 "[--fault-plan=SEED] [--leaf-crash-rate=F] [--quorum=F]\n",
                  argv[0]);
     return 2;
   };
@@ -412,6 +463,33 @@ int main(int argc, char** argv) {
       if (ck.resume.empty()) return usage();
       continue;
     }
+    if (std::strncmp(argv[a], "--fault-plan=", 13) == 0) {
+      char* end = nullptr;
+      fo.seed = std::strtoull(argv[a] + 13, &end, 10);
+      if (end == argv[a] + 13 || *end != '\0') return usage();
+      fo.enabled = true;
+      continue;
+    }
+    if (std::strncmp(argv[a], "--leaf-crash-rate=", 18) == 0) {
+      char* end = nullptr;
+      fo.leaf_crash_rate = std::strtod(argv[a] + 18, &end);
+      if (end == argv[a] + 18 || *end != '\0' ||
+          !std::isfinite(fo.leaf_crash_rate) || fo.leaf_crash_rate < 0.0 ||
+          fo.leaf_crash_rate > 1.0) {
+        return usage();
+      }
+      fo.enabled = true;
+      continue;
+    }
+    if (std::strncmp(argv[a], "--quorum=", 9) == 0) {
+      char* end = nullptr;
+      fo.quorum = std::strtod(argv[a] + 9, &end);
+      if (end == argv[a] + 9 || *end != '\0' || !std::isfinite(fo.quorum) ||
+          fo.quorum <= 0.0 || fo.quorum > 1.0) {
+        return usage();
+      }
+      continue;
+    }
     if (std::strncmp(argv[a], "--reuse=", 8) == 0) {
       if (std::strcmp(argv[a] + 8, "0") == 0) {
         reuse = false;
@@ -440,12 +518,17 @@ int main(int argc, char** argv) {
   const bool ck_flag =
       ck.every_secs > 0.0 || !ck.checkpoint.empty() || !ck.resume.empty();
   if (ck_flag && ck.every_secs <= 0.0) ck.every_secs = 20.0;
-  if ((hierarchy_flag || ck_flag || as.straggler_fraction > 0.0) &&
+  if ((hierarchy_flag || ck_flag || as.straggler_fraction > 0.0 ||
+       fo.any()) &&
       shards == 0) {
     shards = 1;
   }
+  // Faults require an orchestrated hierarchy (leases live in the group
+  // pool) and quorum sealing is a planned-mode feature; default to planned
+  // when the fault flags are given without an explicit --hierarchy.
+  if (fo.any() && !hierarchy_flag) mode = sys::HierarchyMode::kPlanned;
   if (shards > 0) return run_sharded(cfg, shards, mode, replan_interval,
-                                     reuse, ck, as);
+                                     reuse, ck, as, fo);
 
   std::printf(
       "Mega campaign: %zu mobile clients, %zu nodes, %zu rounds x %zu "

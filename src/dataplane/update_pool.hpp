@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -84,6 +85,60 @@ class UpdatePool {
     depth_watchers_.push_back(DepthWatcher{n, std::move(fn)});
   }
 
+  // ---- lease/ack recovery protocol ------------------------------------
+  //
+  // An aggregator consuming under lease semantics retains a copy of every
+  // update it accepts, keyed by its own ParticipantId. The copy is cheap
+  // (shared tensor + shm lease refcounts) but keeps the backing shm object
+  // alive: the pool is the pool half, the retained lease is the ObjectStore
+  // half of "un-acked claims survive their consumer". On Send the consumer
+  // acks (drops) its leases; on crash the orchestrator aborts them and the
+  // retained copies come back — re-queued to the pool for leaves, or
+  // re-injected into the replacement for middles/top — so no client sample
+  // is ever lost to a crashed runtime.
+
+  /// Record a retained copy of an accepted update under `owner`'s lease.
+  void lease_retain(fl::ParticipantId owner, const fl::ModelUpdate& u) {
+    leases_[owner].push_back(u);
+    ++total_retained_;
+  }
+
+  /// Ack (release) `owner`'s leases, keeping only the `keep_newest` most
+  /// recently retained entries — a recurring consumer acks at each Send but
+  /// must keep updates still buffered for the *next* emission under lease.
+  void lease_ack(fl::ParticipantId owner, std::size_t keep_newest = 0) {
+    auto it = leases_.find(owner);
+    if (it == leases_.end()) return;
+    auto& v = it->second;
+    if (v.size() > keep_newest) {
+      total_acked_ += v.size() - keep_newest;
+      v.erase(v.begin(),
+              v.end() - static_cast<std::ptrdiff_t>(keep_newest));
+    }
+    if (v.empty()) leases_.erase(it);
+  }
+
+  /// Abort `owner`'s leases (consumer crashed): returns the retained
+  /// copies in retention order for re-fold, clearing the lease.
+  std::vector<fl::ModelUpdate> lease_abort(fl::ParticipantId owner) {
+    auto it = leases_.find(owner);
+    if (it == leases_.end()) return {};
+    std::vector<fl::ModelUpdate> v = std::move(it->second);
+    leases_.erase(it);
+    total_aborted_ += v.size();
+    return v;
+  }
+
+  /// Total updates currently retained under any lease.
+  std::size_t leases() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [owner, v] : leases_) n += v.size();
+    return n;
+  }
+  std::uint64_t leases_retained() const noexcept { return total_retained_; }
+  std::uint64_t leases_acked() const noexcept { return total_acked_; }
+  std::uint64_t leases_aborted() const noexcept { return total_aborted_; }
+
   std::size_t depth() const noexcept { return entries_.size(); }
   std::size_t waiter_count() const noexcept { return waiters_.size(); }
   std::size_t depth_watcher_count() const noexcept {
@@ -152,8 +207,12 @@ class UpdatePool {
   std::deque<Entry> entries_;
   std::deque<Waiter> waiters_;
   std::vector<DepthWatcher> depth_watchers_;
+  std::map<fl::ParticipantId, std::vector<fl::ModelUpdate>> leases_;
   std::size_t max_depth_ = 0;
   std::uint64_t total_pushed_ = 0;
+  std::uint64_t total_retained_ = 0;
+  std::uint64_t total_acked_ = 0;
+  std::uint64_t total_aborted_ = 0;
   double total_delay_ = 0.0;
 };
 

@@ -151,6 +151,27 @@ void AggregatorRuntime::stop() {
     plane_.env(cfg_.node).pool.push(std::move(fifo_.front()));
     fifo_.pop_front();
   }
+  // Everything accepted is accounted for — folded work was (or will be)
+  // emitted, the rest just went back to the pool — so the lease clears in
+  // full. Leaving it would double-count those updates on a later abort.
+  if (cfg_.leased) plane_.env(cfg_.node).pool.lease_ack(cfg_.id);
+}
+
+void AggregatorRuntime::fail() {
+  if (!started_ || failed_) return;
+  failed_ = true;
+  started_ = false;
+  ready_ = false;
+  ctx_->rt = nullptr;  // invalidates in-flight waiters, timers, step events
+  plane_.unregister_consumer(cfg_.id);
+  // The sandbox is gone: buffered and mid-step updates die with it — no
+  // pool pushes, no lease acks. The retained lease copies are the single
+  // source of recovery (a stop()-style push-back here would duplicate them
+  // against the abort path).
+  fifo_.clear();
+  in_flight_.reset();
+  processing_ = false;
+  acc_.reset();
 }
 
 void AggregatorRuntime::set_goal(std::uint32_t goal, bool open) {
@@ -198,6 +219,7 @@ void AggregatorRuntime::rearm(Config cfg) {
     plane_.env(cfg_.node).pool.push(std::move(fifo_.front()));
     fifo_.pop_front();
   }
+  if (cfg_.leased) plane_.env(cfg_.node).pool.lease_ack(cfg_.id);
   acc_.reset();
   cfg_ = std::move(cfg);
   validate_config();
@@ -206,6 +228,7 @@ void AggregatorRuntime::rearm(Config cfg) {
   cfg_.cold_start_secs = 0.0;
   cfg_.cold_start_cycles = 0.0;
   sent_ = false;
+  failed_ = false;
   received_ = 0;
   pulled_ = 0;
   aggregated_ = 0;
@@ -245,6 +268,17 @@ void AggregatorRuntime::deliver(ModelUpdate u) {
     plane_.env(cfg_.node).pool.push(std::move(u));
     return;
   }
+  if (u.corrupted) {
+    // Integrity check at Recv: a bit-flipped payload is discarded rather
+    // than folded — the client's retry (already scheduled by the fault
+    // plan) re-delivers a clean copy.
+    ++corrupt_dropped_;
+    if (cfg_.pull_from_pool && pulled_ > 0) {
+      --pulled_;
+      maybe_pull();
+    }
+    return;
+  }
   const bool version_mismatch =
       cfg_.expected_version != 0 && u.model_version != cfg_.expected_version;
   const bool too_stale =
@@ -261,6 +295,10 @@ void AggregatorRuntime::deliver(ModelUpdate u) {
     }
     return;
   }
+  // Accepting under lease: the retained copy (cheap — shared tensor + shm
+  // lease refcounts) is what survives if this instance crashes before
+  // emitting the update's contribution.
+  if (cfg_.leased) plane_.env(cfg_.node).pool.lease_retain(cfg_.id, u);
   ++received_;
   if (first_arrival_at_ < 0) first_arrival_at_ = sim_.now();
   version_ = std::max(version_, u.model_version);
@@ -329,6 +367,18 @@ void AggregatorRuntime::on_agg_done() {
   // Dropping the update releases its shm lease (buffer recycled).
   in_flight_.reset();
   processing_ = false;
+  if (cfg_.fail_after_folds > 0 && aggregated_ >= cfg_.fail_after_folds &&
+      !sent_) {
+    // Injected crash, synchronously after the k-th fold and *before* any
+    // Send this fold would have triggered — when k equals the goal, the
+    // crash lands exactly between the buffer sealing and its emission.
+    // The handler is copied out first: fail() leaves cfg_ intact but the
+    // handler may rearm this instance, which replaces cfg_ mid-call.
+    auto fn = cfg_.on_failed;
+    fail();
+    if (fn) fn();
+    return;
+  }
   if (goal_reached()) {
     do_send();
   } else {
@@ -359,6 +409,13 @@ void AggregatorRuntime::do_send() {
     if (cfg_.pull_from_pool) pulled_ = received_;
   } else {
     sent_ = true;
+  }
+  // Send is the ack point of the lease protocol: everything folded into
+  // this emission is now the consumer's responsibility. Updates still
+  // buffered for the *next* emission (recurring) or left over past the
+  // goal stay retained — they have not been emitted yet.
+  if (cfg_.leased) {
+    plane_.env(cfg_.node).pool.lease_ack(cfg_.id, fifo_.size());
   }
   if (cfg_.consumer != 0) {
     plane_.send(cfg_.id, cfg_.node, cfg_.consumer, std::move(result));

@@ -102,6 +102,25 @@ class AggregatorRuntime {
     /// version and discounts by staleness instead (see `live_version`).
     std::uint32_t expected_version = 0;
 
+    // ---- fault domain (lease/ack recovery + crash injection) ------------
+    /// Consume under lease semantics: every accepted update leaves a
+    /// retained copy in the node pool's lease table under this instance's
+    /// id, acked at Send (all but the still-buffered tail) and at graceful
+    /// stop()/rearm(). A crash (`fail()`) acks nothing — the orchestrator
+    /// aborts the lease and re-folds the retained copies, so no client
+    /// sample is lost to a dead runtime.
+    bool leased = false;
+    /// Fault injection: crash (`fail()`) synchronously after folding this
+    /// many messages, before any Send the fold would have triggered —
+    /// including the edge where the crash lands between the buffer filling
+    /// and its emission. 0 = never.
+    std::uint32_t fail_after_folds = 0;
+    /// Invoked (by copy) right after an injected crash; the handler may
+    /// re-register a replacement under the same id — in-flight sends
+    /// resolve their route at delivery time and reach it — but must not
+    /// destroy this runtime mid-callback (park it in a graveyard instead).
+    std::function<void()> on_failed;
+
     // ---- asynchronous aggregation (FedBuff/FedAsync semantics) ----------
     /// Pointer to the live global model version (the campaign's per-group
     /// server-version slot). When set, each fold is weighted by the
@@ -152,6 +171,14 @@ class AggregatorRuntime {
   /// name for cross-level promotion.
   void convert_role(Config cfg) { rearm(std::move(cfg)); }
 
+  /// Crash this instance: the sandbox dies taking its accumulator, FIFO
+  /// and in-flight update with it — nothing returns to the pool and no
+  /// lease is acked (contrast `stop()`, the graceful path). Recovery runs
+  /// through the pool's lease table: `lease_abort(id)` yields every update
+  /// this instance had accepted but not yet emitted, for a replacement to
+  /// re-fold. Idempotent.
+  void fail();
+
   /// Adjust the goal of a live instance. Growing is always safe; shrinking
   /// to (or below) the work already folded triggers the Send immediately.
   /// `open = true` keeps the goal growable and suppresses the Send.
@@ -187,6 +214,10 @@ class AggregatorRuntime {
   /// Client updates folded into the running aggregate so far.
   std::uint32_t folded() const noexcept { return acc_.updates_folded(); }
   std::uint32_t stale_dropped() const noexcept { return stale_dropped_; }
+  /// Updates discarded at Recv for failing their integrity check.
+  std::uint32_t corrupt_dropped() const noexcept { return corrupt_dropped_; }
+  /// This instance was crashed by `fail()`.
+  bool failed() const noexcept { return failed_; }
   /// Aggregates emitted by a recurring instance (model versions, for a
   /// recurring top).
   std::uint32_t emissions() const noexcept { return emissions_; }
@@ -259,10 +290,12 @@ class AggregatorRuntime {
   bool cold_start_begun_ = false;
   bool processing_ = false;
   bool sent_ = false;
+  bool failed_ = false;
   std::uint32_t received_ = 0;
   std::uint32_t pulled_ = 0;
   std::uint32_t aggregated_ = 0;
   std::uint32_t stale_dropped_ = 0;
+  std::uint32_t corrupt_dropped_ = 0;
   std::uint32_t emissions_ = 0;
   std::uint32_t version_ = 0;
   sim::SimTime first_arrival_at_ = -1.0;

@@ -39,6 +39,10 @@ struct ModelUpdate {
   /// (stream not yet terminated by a gateway or broker): the consumer's
   /// Recv step then pays full client-stream decoding.
   bool from_client = false;
+  /// Payload failed its integrity check in transit (fault injection):
+  /// consumers discard it at Recv instead of folding garbage; the client
+  /// retransmits with backoff.
+  bool corrupted = false;
 
   // Provenance for latency breakdowns.
   sim::SimTime created_at = 0.0;

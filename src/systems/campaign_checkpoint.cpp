@@ -70,6 +70,13 @@ void save_hier_stats(sim::Serializer& s, const StreamingHierarchy::Stats& h) {
   s.u64(h.replans);
   s.u64(h.drains);
   s.u32(h.peak_leaves);
+  s.u64(h.leaf_crashes);
+  s.u64(h.middle_crashes);
+  s.u64(h.refolded);
+  s.u64(h.reinjected);
+  s.u64(h.quorum_seals);
+  s.u64(h.quorum_abandoned);
+  s.f64(h.recovery_secs);
 }
 
 StreamingHierarchy::Stats load_hier_stats(sim::Deserializer& d) {
@@ -79,6 +86,13 @@ StreamingHierarchy::Stats load_hier_stats(sim::Deserializer& d) {
   h.replans = d.u64();
   h.drains = d.u64();
   h.peak_leaves = d.u32();
+  h.leaf_crashes = d.u64();
+  h.middle_crashes = d.u64();
+  h.refolded = d.u64();
+  h.reinjected = d.u64();
+  h.quorum_seals = d.u64();
+  h.quorum_abandoned = d.u64();
+  h.recovery_secs = d.f64();
   return h;
 }
 
@@ -93,7 +107,7 @@ void require_quiescent(const detail::CampaignState& st) {
   for (const detail::Group& g : st.groups) {
     dp::DataPlane::NodeEnv& env = g.plane->env(0);
     if (env.pool.depth() != 0 || env.pool.waiter_count() != 0 ||
-        env.pool.depth_watcher_count() != 0) {
+        env.pool.depth_watcher_count() != 0 || env.pool.leases() != 0) {
       throw std::logic_error(
           "CampaignCheckpoint: update pool not quiescent at the boundary");
     }
@@ -139,6 +153,24 @@ std::uint64_t CampaignCheckpoint::config_digest(
   d.mix(static_cast<std::uint64_t>(cfg.async_flush_updates));
   d.mix(cfg.straggler_fraction);
   d.mix(cfg.straggler_delay_secs);
+  // The fault schedule and degradation knobs shape every event time, so a
+  // blob only replays under the identical plan.
+  d.mix(cfg.fault.seed);
+  d.mix(cfg.fault.leaf_crash_rate);
+  d.mix(cfg.fault.middle_crash_rate);
+  d.mix(cfg.fault.top_crash_rate);
+  d.mix(cfg.fault.upload_drop_rate);
+  d.mix(cfg.fault.upload_corrupt_rate);
+  d.mix(cfg.fault.outage_rate);
+  d.mix(cfg.fault.outage_secs);
+  d.mix(cfg.fault.outage_start_max_secs);
+  d.mix(static_cast<std::uint64_t>(cfg.fault.gateway_overflow_depth));
+  d.mix(cfg.fault.retry_base_secs);
+  d.mix(cfg.fault.retry_cap_secs);
+  d.mix(cfg.fault.retry_jitter);
+  d.mix(cfg.quorum);
+  d.mix(cfg.round_deadline_secs);
+  d.mix(static_cast<std::uint64_t>(cfg.async_adaptive_deadline));
   // The mark grid and the persistence cost model shape simulated time, so
   // a blob only resumes under the identical checkpointing regime.
   d.mix(cfg.checkpoint_every_secs);
@@ -170,11 +202,21 @@ std::vector<std::uint8_t> CampaignCheckpoint::encode_boundary(
   s.pod_vec(partial.round_weight);
   s.pod_vec(partial.round_spawned);
   s.pod_vec(partial.round_reused);
+  s.pod_vec(partial.round_refolded);
   s.u64(partial.spawned_total);
   s.u64(partial.reused_total);
   s.u64(partial.replans);
   s.u64(partial.leaf_drains);
   s.u32(partial.peak_leaves);
+  s.u64(partial.leaf_crashes);
+  s.u64(partial.middle_crashes);
+  s.u64(partial.refolded_updates);
+  s.u64(partial.reinjected_partials);
+  s.u64(partial.quorum_seals);
+  s.u64(partial.quorum_abandoned);
+  s.f64(partial.recovery_secs);
+  s.u64(st.top_crashes);
+  s.f64(st.top_recovery_secs);
   s.u64(st.ckpt_marks);
   s.end_section();
 
@@ -191,6 +233,11 @@ std::vector<std::uint8_t> CampaignCheckpoint::encode_boundary(
     save(s, g.rng);
     s.u64(g.participant_counter);
     s.u64(g.total_uploads);
+    s.u64(g.upload_retries);
+    s.u64(g.upload_drops);
+    s.u64(g.upload_corruptions);
+    s.u64(g.overflow_rejects);
+    s.u64(g.outage_rejects);
 
     dp::DataPlane::NodeEnv& env = g.plane->env(0);
     s.u64(env.pool.max_depth());
@@ -326,11 +373,21 @@ CheckpointCut CampaignCheckpoint::restore(
   partial.round_weight = d.pod_vec<double>();
   partial.round_spawned = d.pod_vec<std::uint64_t>();
   partial.round_reused = d.pod_vec<std::uint64_t>();
+  partial.round_refolded = d.pod_vec<std::uint64_t>();
   partial.spawned_total = d.u64();
   partial.reused_total = d.u64();
   partial.replans = d.u64();
   partial.leaf_drains = d.u64();
   partial.peak_leaves = d.u32();
+  partial.leaf_crashes = d.u64();
+  partial.middle_crashes = d.u64();
+  partial.refolded_updates = d.u64();
+  partial.reinjected_partials = d.u64();
+  partial.quorum_seals = d.u64();
+  partial.quorum_abandoned = d.u64();
+  partial.recovery_secs = d.f64();
+  st.top_crashes = d.u64();
+  st.top_recovery_secs = d.f64();
   st.ckpt_marks = d.u64();
   d.end_section();
 
@@ -347,6 +404,11 @@ CheckpointCut CampaignCheckpoint::restore(
     load(d, g.rng);
     g.participant_counter = d.u64();
     g.total_uploads = d.u64();
+    g.upload_retries = d.u64();
+    g.upload_drops = d.u64();
+    g.upload_corruptions = d.u64();
+    g.overflow_rejects = d.u64();
+    g.outage_rejects = d.u64();
 
     dp::DataPlane::NodeEnv& env = g.plane->env(0);
     const std::uint64_t max_depth = d.u64();

@@ -53,7 +53,11 @@ class CampaignCheckpoint {
   static constexpr std::uint64_t kMagic = 0x50414e534c46494cull;  // LIFLSNAP
   /// v2: per-round effective FedAvg weights in the telemetry section and
   /// per-group server-version slots in the planner section (async mode).
-  static constexpr std::uint32_t kVersion = 2;
+  /// v3: fault/recovery telemetry — per-round refold counts and cumulative
+  /// crash/retry/quorum counters in the result section, per-group client
+  /// upload fault counters in the group section, and the fault-plan +
+  /// quorum config fields folded into the digest.
+  static constexpr std::uint32_t kVersion = 3;
 
   /// Digest of every config field that shapes the simulation (not the
   /// paths/sinks). A blob only restores under the digest it was cut from.

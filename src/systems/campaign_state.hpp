@@ -47,6 +47,14 @@ struct Group {
   std::uint64_t participant_counter = 0;
   std::uint32_t round = 0;
   std::uint64_t total_uploads = 0;
+
+  // Client-side fault telemetry, cumulative across rounds (group-local
+  // event order only, so bitwise shard-invariant; checkpointed).
+  std::uint64_t upload_retries = 0;
+  std::uint64_t upload_drops = 0;
+  std::uint64_t upload_corruptions = 0;
+  std::uint64_t overflow_rejects = 0;
+  std::uint64_t outage_rejects = 0;
 };
 
 /// Whole-campaign runtime state, owned by `run_sharded_campaign` for the
@@ -58,6 +66,19 @@ struct CampaignState {
   std::unique_ptr<ctrl::CampaignPlanner> planner;  ///< planned/async modes
   std::unique_ptr<fl::AggregatorRuntime> top_rt;   ///< planned: reused
   fl::AggregatorRuntime* top = nullptr;  ///< current round's top (group 0)
+  /// The deterministic fault schedule (cfg->fault); disabled = fault-free.
+  sim::FaultPlan faults;
+  /// The top's current folded-update goal this round: starts at
+  /// uploads_per_round() and shrinks as groups report quorum shortfalls;
+  /// a crashed top's replacement re-arms at this goal.
+  std::uint64_t top_goal = 0;
+  /// Top crashes recovered, cumulative (checkpointed with the result).
+  std::uint64_t top_crashes = 0;
+  /// Replacement cold-start seconds paid for crashed tops, cumulative.
+  double top_recovery_secs = 0.0;
+  /// Crashed top sandboxes: a runtime cannot be destroyed from inside its
+  /// own crash callback; reclaimed at the round epilogue.
+  std::vector<std::unique_ptr<fl::AggregatorRuntime>> graveyard;
   bool round_done = false;
   double completed_at = -1.0;
   std::uint64_t round_samples = 0;

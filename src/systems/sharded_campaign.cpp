@@ -67,6 +67,70 @@ struct GroupRelay {
   }
 };
 
+/// Applies a quorum shortfall to the top's folded-count goal. Posted from
+/// the sealing group's shard to the top's shard, so the shrink lands in the
+/// top's own event order (shard-count invariant). The top goal may shrink
+/// to the point the already-folded count satisfies it, completing the
+/// round immediately.
+struct TopShrink {
+  CampaignState* st;
+  std::uint64_t abandoned;
+  void operator()() const {
+    st->top_goal -= std::min(abandoned, st->top_goal);
+    st->top->set_goal(static_cast<std::uint32_t>(st->top_goal));
+  }
+};
+
+/// One upload attempt under the fault plan: outage window → gateway
+/// admission → wire drop → corruption, in that order; any fault schedules
+/// a retransmission with capped exponential backoff + deterministic
+/// per-client jitter (the client-side retry machinery). A corrupted
+/// attempt is *delivered* — the consumer's integrity check discards it —
+/// and retried. `seq` is the group-local arrival sequence; all draws hash
+/// (group, seq, attempt), so the schedule is shard-invariant and replays
+/// bitwise from a checkpoint.
+void attempt_upload(CampaignState* st, Group* g, fl::ModelUpdate u,
+                    double uplink, std::uint64_t seq, std::uint32_t attempt) {
+  const sim::FaultPlan& fp = st->faults;
+  const auto retry = [&](fl::ModelUpdate again) {
+    ++g->upload_retries;
+    const double d = fp.backoff_secs(g->id, seq, attempt);
+    g->sim->schedule_after(
+        d, [st, g, again = std::move(again), uplink, seq, attempt]() mutable {
+          attempt_upload(st, g, std::move(again), uplink, seq, attempt + 1);
+        });
+  };
+  double ob = 0.0, oe = 0.0;
+  if (fp.outage_window(g->id, g->round, &ob, &oe)) {
+    const double now = g->sim->now();
+    if (now >= g->epoch + ob && now < g->epoch + oe) {
+      ++g->outage_rejects;
+      retry(std::move(u));
+      return;
+    }
+  }
+  const std::size_t limit = fp.config().gateway_overflow_depth;
+  if (limit > 0 && g->plane->env(0).gateway.queue_length() >= limit) {
+    ++g->overflow_rejects;
+    retry(std::move(u));
+    return;
+  }
+  if (fp.upload_dropped(g->id, seq, attempt)) {
+    ++g->upload_drops;
+    retry(std::move(u));
+    return;
+  }
+  if (fp.upload_corrupted(g->id, seq, attempt)) {
+    ++g->upload_corruptions;
+    fl::ModelUpdate bad = u;
+    bad.corrupted = true;
+    retry(std::move(u));
+    g->plane->client_upload(0, std::move(bad), uplink);
+    return;
+  }
+  g->plane->client_upload(0, std::move(u), uplink);
+}
+
 /// One open-loop arrival: upload a lazily derived client's update into the
 /// group's node, then chain the next arrival. 16 bytes — Task-inline.
 ///
@@ -97,14 +161,29 @@ struct ArrivalFn {
         cfg.straggler_fraction > 0.0 &&
         static_cast<double>((seq * 0x9e3779b97f4a7c15ull) >> 40) <
             cfg.straggler_fraction * 16777216.0;
+    const bool faulty = st->faults.enabled();
     if (straggler) {
       dp::DataPlane* plane = g->plane.get();
       const double uplink = profile.uplink_bytes_per_sec;
-      g->sim->schedule_after(cfg.straggler_delay_secs,
-                             [plane, u = std::move(u), uplink]() mutable {
-                               plane->client_upload(0, std::move(u), uplink);
-                             });
+      if (faulty) {
+        CampaignState* stp = st;
+        Group* gp = g;
+        g->sim->schedule_after(
+            cfg.straggler_delay_secs,
+            [stp, gp, u = std::move(u), uplink, seq]() mutable {
+              attempt_upload(stp, gp, std::move(u), uplink, seq, 0);
+            });
+      } else {
+        g->sim->schedule_after(cfg.straggler_delay_secs,
+                               [plane, u = std::move(u), uplink]() mutable {
+                                 plane->client_upload(0, std::move(u), uplink);
+                               });
+      }
+    } else if (faulty) {
+      attempt_upload(st, g, std::move(u), profile.uplink_bytes_per_sec, seq,
+                     0);
     } else {
+      // Fault-free fast path: preserved verbatim (zero allocations).
       g->plane->client_upload(0, std::move(u), profile.uplink_bytes_per_sec);
     }
     ++g->launched;
@@ -185,6 +264,57 @@ double first_mark_after(double t, double every) {
 void spawn_cold(fl::AggregatorRuntime::Config& c,
                 const ShardedCampaignConfig& cfg) {
   if (cfg.cold_start_spawns) apply_lifl_cold_start(c);
+}
+
+/// The planned-mode top aggregator's config at a given folded-count goal —
+/// shared by the round arming and by crashed-top recovery, so a
+/// replacement is indistinguishable from the original.
+fl::AggregatorRuntime::Config planned_top_config(CampaignState& st,
+                                                 std::uint32_t round,
+                                                 std::uint64_t goal) {
+  fl::AggregatorRuntime::Config tc;
+  tc.id = 1;
+  tc.node = 0;
+  tc.role = fl::AggRole::kTop;
+  tc.timing = fl::AggTiming::kEager;
+  tc.goal = static_cast<std::uint32_t>(goal);
+  tc.goal_kind = fl::GoalKind::kFoldedUpdates;
+  tc.result_bytes = st.cfg->model_bytes;
+  tc.expected_version = round;
+  tc.leased = st.faults.enabled();
+  tc.on_result = [&st](fl::ModelUpdate u) {
+    st.round_done = true;
+    st.completed_at = st.groups[0].sim->now();
+    st.round_samples = u.sample_count;
+    st.round_weight = u.weight;
+  };
+  return tc;
+}
+
+/// Crashed-top recovery (planned mode, runs on group 0's shard inside the
+/// crash callback): abort the top's leases — the group relays it had
+/// folded but not emitted — spawn a cold replacement at the current
+/// (possibly quorum-shrunk) goal, and re-inject the retained relays.
+/// In-flight TopInject posts resolve `st->top` at fire time, so relays
+/// crossing shards during the crash instant land in the replacement. The
+/// replacement gets no fresh crash draw (at most one top crash per round),
+/// so recovery terminates.
+void recover_top(CampaignState& st, std::uint32_t round) {
+  ++st.top_crashes;
+  auto& pool = st.groups[0].plane->env(0).pool;
+  std::vector<fl::ModelUpdate> lost = pool.lease_abort(1);
+  st.graveyard.push_back(std::move(st.top_rt));
+  fl::AggregatorRuntime::Config tc =
+      planned_top_config(st, round, st.top_goal);
+  spawn_cold(tc, *st.cfg);
+  if (st.cfg->cold_start_spawns) {
+    st.top_recovery_secs += calib::kLiflColdStartSecs;
+  }
+  st.top_rt = std::make_unique<fl::AggregatorRuntime>(*st.groups[0].plane,
+                                                      std::move(tc));
+  st.top_rt->start();
+  st.top = st.top_rt.get();
+  for (auto& u : lost) st.top->inject(std::move(u));
 }
 
 /// Arm an open-loop arrival chain for one group: `target` uploads starting
@@ -286,6 +416,51 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     throw std::invalid_argument(
         "sharded campaign: checkpoint_every_secs must be finite");
   }
+  const auto rate_ok = [](double r) {
+    return std::isfinite(r) && r >= 0.0 && r <= 1.0;
+  };
+  if (!rate_ok(cfg.fault.leaf_crash_rate) ||
+      !rate_ok(cfg.fault.middle_crash_rate) ||
+      !rate_ok(cfg.fault.top_crash_rate) || !rate_ok(cfg.fault.outage_rate)) {
+    throw std::invalid_argument(
+        "sharded campaign: fault crash/outage rates must be in [0, 1]");
+  }
+  if (!rate_ok(cfg.fault.upload_drop_rate) ||
+      cfg.fault.upload_drop_rate >= 1.0 ||
+      !rate_ok(cfg.fault.upload_corrupt_rate) ||
+      cfg.fault.upload_corrupt_rate >= 1.0) {
+    throw std::invalid_argument(
+        "sharded campaign: upload drop/corrupt rates must be in [0, 1) — at "
+        "1 every retry fails too and no upload can ever deliver");
+  }
+  if (sim::FaultPlan(cfg.fault).enabled() && !orchestrated) {
+    throw std::invalid_argument(
+        "sharded campaign: fault injection requires the streaming hierarchy "
+        "(planned or async mode) — recovery runs through its warm pools");
+  }
+  if (!std::isfinite(cfg.quorum) || cfg.quorum <= 0.0 || cfg.quorum > 1.0) {
+    throw std::invalid_argument(
+        "sharded campaign: quorum must be in (0, 1]");
+  }
+  if (cfg.quorum < 1.0) {
+    if (!planned) {
+      throw std::invalid_argument(
+          "sharded campaign: quorum sealing is a synchronous-round "
+          "mechanism — it requires planned mode");
+    }
+    if (!(cfg.round_deadline_secs > 0.0) ||
+        !std::isfinite(cfg.round_deadline_secs)) {
+      throw std::invalid_argument(
+          "sharded campaign: quorum < 1 needs a finite positive "
+          "round_deadline_secs to probe at");
+    }
+    if (ck) {
+      throw std::invalid_argument(
+          "sharded campaign: quorum sealing abandons in-flight uploads, "
+          "which violates the checkpoint quiescence invariant — disable "
+          "checkpoint_every_secs");
+    }
+  }
 
   sim::ShardedSimulator::Config scfg;
   scfg.shards = cfg.shards;
@@ -295,6 +470,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
   CampaignState st;
   st.cfg = &cfg;
   st.sharded = &sharded;
+  st.faults = sim::FaultPlan(cfg.fault);
   st.groups.resize(cfg.groups);
 
   const std::size_t pop_per_group = std::max<std::size_t>(
@@ -346,9 +522,23 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
       hcfg.replan_interval = cfg.replan_interval_secs;
       hcfg.cold_start_spawns = cfg.cold_start_spawns;
       hcfg.on_relay_result = GroupRelay{&st, gi};
+      if (st.faults.enabled()) hcfg.faults = &st.faults;
+      if (planned && cfg.quorum < 1.0) {
+        hcfg.quorum = cfg.quorum;
+        hcfg.round_deadline_secs = cfg.round_deadline_secs;
+        hcfg.on_quorum_shortfall = [&st, gi](std::uint64_t abandoned) {
+          // Post the goal shrink into the top's shard so it lands in the
+          // top's own event order (shard-count invariant).
+          Group& g = st.groups[gi];
+          const double t = g.sim->now() + cross_latency_secs(0);
+          st.sharded->post(g.shard, st.groups[0].shard, t,
+                           TopShrink{&st, abandoned});
+        };
+      }
       if (async) {
         hcfg.async = true;
         hcfg.seal_deadline_secs = cfg.async_deadline_secs;
+        hcfg.adaptive_deadline = cfg.async_adaptive_deadline;
         hcfg.flush_updates = cfg.async_flush_updates;
         hcfg.live_version = st.planner->version_ptr(gi);
       }
@@ -439,7 +629,8 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     const std::uint64_t per_group_stream =
         static_cast<std::uint64_t>(cfg.per_group_target()) * cfg.rounds;
     for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
-      st.groups[gi].hier->begin_stream(per_group_stream, plan.groups[gi]);
+      st.groups[gi].hier->begin_stream(per_group_stream, plan.groups[gi],
+                                       epoch);
       arm_arrivals(st, st.groups[gi], 1, epoch, per_group_stream);
     }
 
@@ -480,6 +671,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     // ---- stream epilogue (coordinator, shards idle): park the fleet and
     // attribute the stream's churn to its first version entry — spawns
     // happen only while the initial fleet ramps; steady state is zero.
+    std::uint64_t refolded = 0;
     for (auto& g : st.groups) {
       const StreamingHierarchy::Stats& rs = g.hier->round_stats();
       spawned += rs.spawned;
@@ -487,13 +679,21 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
       result.replans += rs.replans;
       result.leaf_drains += rs.drains;
       result.peak_leaves = std::max(result.peak_leaves, rs.peak_leaves);
+      result.leaf_crashes += rs.leaf_crashes;
+      result.middle_crashes += rs.middle_crashes;
+      result.refolded_updates += rs.refolded;
+      result.reinjected_partials += rs.reinjected;
+      result.recovery_secs += rs.recovery_secs;
+      refolded += rs.refolded;
       g.hier->end_round();
     }
     result.round_spawned.assign(result.round_started_at.size(), 0);
     result.round_reused.assign(result.round_started_at.size(), 0);
+    result.round_refolded.assign(result.round_started_at.size(), 0);
     if (!result.round_spawned.empty()) {
       result.round_spawned.front() = spawned;
       result.round_reused.front() = reused;
+      result.round_refolded.front() = refolded;
     }
     result.spawned_total += spawned;
     result.reused_total += reused;
@@ -526,21 +726,17 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     if (planned) {
       // ---- streaming orchestrator: the coordinator plans at the round
       // barrier (shards idle), groups arm + re-plan locally mid-round.
-      fl::AggregatorRuntime::Config tc;
-      tc.id = 1;
-      tc.node = 0;
-      tc.role = fl::AggRole::kTop;
-      tc.timing = fl::AggTiming::kEager;
-      tc.goal = static_cast<std::uint32_t>(cfg.uploads_per_round());
-      tc.goal_kind = fl::GoalKind::kFoldedUpdates;
-      tc.result_bytes = cfg.model_bytes;
-      tc.expected_version = round;
-      tc.on_result = [&st](fl::ModelUpdate u) {
-        st.round_done = true;
-        st.completed_at = st.groups[0].sim->now();
-        st.round_samples = u.sample_count;
-        st.round_weight = u.weight;
-      };
+      st.top_goal = static_cast<std::uint64_t>(cfg.uploads_per_round());
+      fl::AggregatorRuntime::Config tc =
+          planned_top_config(st, round, st.top_goal);
+      if (st.faults.enabled()) {
+        const std::uint32_t k = st.faults.top_crash_point(
+            round, static_cast<std::uint64_t>(cfg.groups));
+        if (k > 0) {
+          tc.fail_after_folds = k;
+          tc.on_failed = [&st, round] { recover_top(st, round); };
+        }
+      }
       if (st.top_rt && cfg.reuse) {
         st.top_rt->rearm(std::move(tc));
         ++reused;
@@ -558,7 +754,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
       const ctrl::CampaignPlan plan = st.planner->plan_round(expected);
       for (std::size_t gi = 0; gi < cfg.groups; ++gi) {
         st.groups[gi].hier->begin_round(round, cfg.per_group_target(),
-                                        plan.groups[gi]);
+                                        plan.groups[gi], epoch);
       }
     } else {
       spawned += arm_fixed_round(st, round);
@@ -614,6 +810,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     result.round_weight.push_back(st.round_weight);
 
     // Round-boundary bookkeeping (coordinator thread, sims idle).
+    std::uint64_t refolded_round = 0;
     if (planned) {
       for (auto& g : st.groups) {
         const StreamingHierarchy::Stats& rs = g.hier->round_stats();
@@ -622,8 +819,17 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
         result.replans += rs.replans;
         result.leaf_drains += rs.drains;
         result.peak_leaves = std::max(result.peak_leaves, rs.peak_leaves);
+        result.leaf_crashes += rs.leaf_crashes;
+        result.middle_crashes += rs.middle_crashes;
+        result.refolded_updates += rs.refolded;
+        result.reinjected_partials += rs.reinjected;
+        result.quorum_seals += rs.quorum_seals;
+        result.quorum_abandoned += rs.quorum_abandoned;
+        result.recovery_secs += rs.recovery_secs;
+        refolded_round += rs.refolded;
         g.hier->end_round();
       }
+      st.graveyard.clear();  // crashed tops parked during this round
       if (!cfg.reuse) {
         st.top = nullptr;
         st.top_rt.reset();
@@ -634,6 +840,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     }
     result.round_spawned.push_back(spawned);
     result.round_reused.push_back(reused);
+    result.round_refolded.push_back(refolded_round);
     result.spawned_total += spawned;
     result.reused_total += reused;
   }
@@ -649,8 +856,19 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     s.gateway_wait_secs = g.plane->env(0).gateway.total_wait_time();
     s.cpu_cycles = g.cluster->total_cpu().total_cycles();
     result.groups.push_back(s);
+    result.upload_retries += g.upload_retries;
+    result.upload_drops += g.upload_drops;
+    result.upload_corruptions += g.upload_corruptions;
+    result.overflow_rejects += g.overflow_rejects;
+    result.outage_rejects += g.outage_rejects;
     sim_end = std::max(sim_end, g.sim->now());
   }
+  result.top_crashes = st.top_crashes;
+  result.recovery_secs += st.top_recovery_secs;
+  result.faults_injected = result.leaf_crashes + result.middle_crashes +
+                           result.top_crashes + result.upload_drops +
+                           result.upload_corruptions +
+                           result.overflow_rejects + result.outage_rejects;
   result.events = sharded.dispatched();
   result.cross_posts = sharded.cross_posts();
   result.windows = sharded.windows();

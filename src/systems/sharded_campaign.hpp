@@ -8,6 +8,7 @@
 #include "src/fl/aggregator_runtime.hpp"
 #include "src/fl/checkpoint.hpp"
 #include "src/sim/calibration.hpp"
+#include "src/sim/fault_plan.hpp"
 #include "src/sim/time.hpp"
 
 namespace lifl::sys {
@@ -92,6 +93,31 @@ struct ShardedCampaignConfig {
   /// worth: middle_fanin × updates_per_leaf).
   std::uint32_t async_flush_updates = 0;
 
+  // ---- fault domain (orchestrated modes) -------------------------------
+  /// Deterministic fault schedule (`sim::FaultPlan`): leaf/middle/top
+  /// crashes mid-fold, upload drops/corruptions with client retry +
+  /// capped exponential backoff, per-round gateway outage windows, and
+  /// gateway overflow admission. All-zero (the default) = fault-free.
+  /// Requires planned or async mode — recovery runs through the streaming
+  /// hierarchy's warm pools and lease tables. Top crashes are injected in
+  /// planned mode only (the async top is the version cadence itself; a
+  /// process-level crash there restarts from the latest checkpoint blob).
+  sim::FaultPlan::Config fault;
+  /// Graceful degradation (planned mode): seal each round at this fraction
+  /// of its upload target once `round_deadline_secs` has passed, instead
+  /// of stalling on stragglers. 1.0 (default) waits for everything.
+  /// Requires `round_deadline_secs > 0` and is incompatible with
+  /// checkpointing (abandoned in-flight uploads violate the quiescent
+  /// round boundary the snapshots rely on).
+  double quorum = 1.0;
+  /// Round deadline (simulated seconds past the round epoch) after which
+  /// quorum sealing may fire.
+  double round_deadline_secs = 0.0;
+  /// Async mode: size each leaf buffer's seal deadline from the planner's
+  /// arrival EWMA (expected buffer fill time with 2x slack) instead of the
+  /// fixed `async_deadline_secs`, which becomes the upper clamp.
+  bool async_adaptive_deadline = false;
+
   // ---- stragglers (both modes; the fig9 sync-vs-async A/B knob) --------
   /// Deterministic fraction of arrivals whose upload is delayed by
   /// `straggler_delay_secs` (hash of the group-local arrival sequence, so
@@ -164,6 +190,10 @@ struct ShardedCampaignResult {
   /// new runtimes — see tests/streaming_hierarchy_test.cpp.
   std::vector<std::uint64_t> round_spawned;
   std::vector<std::uint64_t> round_reused;
+  /// Client updates re-folded from aborted leases per round (async: total
+  /// attributed to the first version entry) — the lossless-recovery work
+  /// the round performed. Zero everywhere in a fault-free run.
+  std::vector<std::uint64_t> round_refolded;
   std::vector<ShardedGroupStats> groups;
   std::uint64_t spawned_total = 0;
   std::uint64_t reused_total = 0;
@@ -183,6 +213,27 @@ struct ShardedCampaignResult {
   std::uint64_t checkpoints_written = 0;
   std::uint64_t checkpoint_bytes = 0;
   double checkpoint_encode_secs = 0.0;
+
+  // ---- fault/recovery telemetry (all zero in a fault-free run) ---------
+  std::uint64_t faults_injected = 0;  ///< crashes + drops + corruptions +
+                                      ///< outage/overflow rejects
+  std::uint64_t leaf_crashes = 0;     ///< leaf runtimes crashed + recovered
+  std::uint64_t middle_crashes = 0;   ///< middle runtimes crashed + recovered
+  std::uint64_t top_crashes = 0;      ///< top runtimes crashed + recovered
+  std::uint64_t refolded_updates = 0;   ///< client updates re-folded from
+                                        ///< aborted leaf leases
+  std::uint64_t reinjected_partials = 0;  ///< leaf partials re-injected into
+                                          ///< replacement middles/tops
+  std::uint64_t upload_retries = 0;     ///< client retransmissions scheduled
+  std::uint64_t upload_drops = 0;       ///< attempts lost on the wire
+  std::uint64_t upload_corruptions = 0;  ///< attempts arrived bit-flipped
+  std::uint64_t overflow_rejects = 0;   ///< gateway admission rejections
+  std::uint64_t outage_rejects = 0;     ///< attempts hitting an outage window
+  std::uint64_t quorum_seals = 0;       ///< rounds sealed at quorum
+  std::uint64_t quorum_abandoned = 0;   ///< uploads abandoned by those seals
+  double recovery_secs = 0.0;  ///< replacement spawn time paid (cold starts;
+                               ///< warm re-arms recover for free)
+
   double wall_secs = 0.0;
   double sim_secs = 0.0;          ///< final simulated time (max over groups)
 };

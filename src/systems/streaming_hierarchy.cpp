@@ -1,8 +1,10 @@
 #include "src/systems/streaming_hierarchy.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "src/sim/calibration.hpp"
 #include "src/sim/periodic.hpp"
@@ -103,7 +105,45 @@ fl::AggregatorRuntime::Config StreamingHierarchy::leaf_config(
   lc.on_result = [this, sp](fl::ModelUpdate u) {
     on_leaf_batch(sp, std::move(u));
   };
+  if (cfg_.faults != nullptr && cfg_.faults->enabled()) {
+    lc.leased = true;
+    // One draw per arming, in group-local event order: replacements get a
+    // fresh draw too (a recovered leaf can crash again).
+    const std::uint32_t k = cfg_.faults->leaf_crash_point(
+        cfg_.group, round_num_, fault_seq_++, s.batch);
+    if (k > 0) {
+      lc.fail_after_folds = k;
+      lc.on_failed = [this, sp] { recover_leaf(sp); };
+    }
+  }
   return lc;
+}
+
+fl::AggregatorRuntime::Config StreamingHierarchy::middle_config(
+    fl::ParticipantId id, std::size_t mi) {
+  fl::AggregatorRuntime::Config mc;
+  mc.id = id;
+  mc.node = cfg_.node;
+  mc.role = fl::AggRole::kMiddle;
+  mc.timing = fl::AggTiming::kEager;
+  mc.goal = 0;
+  mc.goal_open = true;
+  mc.goal_kind = fl::GoalKind::kFoldedUpdates;
+  mc.consumer = cfg_.relay_id;
+  mc.result_bytes = cfg_.result_bytes;
+  mc.expected_version = round_num_;
+  if (cfg_.faults != nullptr && cfg_.faults->enabled()) {
+    mc.leased = true;
+    // The crash lands after k folded leaf partials; the planner's fan-in
+    // is the expected message count of the arming.
+    const std::uint32_t k = cfg_.faults->middle_crash_point(
+        cfg_.group, round_num_, fault_seq_++, planner_.config().middle_fanin);
+    if (k > 0) {
+      mc.fail_after_folds = k;
+      mc.on_failed = [this, mi] { recover_middle(mi); };
+    }
+  }
+  return mc;
 }
 
 bool StreamingHierarchy::activate_leaf() {
@@ -138,12 +178,33 @@ std::uint32_t StreamingHierarchy::relay_flush() const {
       1, planner_.config().middle_fanin * cfg_.updates_per_leaf);
 }
 
+double StreamingHierarchy::leaf_deadline_secs() const {
+  const double cap = cfg_.seal_deadline_secs;
+  if (!cfg_.adaptive_deadline || cap <= 0.0 || cfg_.replan_interval <= 0.0 ||
+      !planner_.estimate_initialized(cfg_.group)) {
+    return cap;  // fixed deadline until the arrival EWMA has a signal
+  }
+  // Per-group arrival rate from the EWMA the re-plan pulse feeds (updates
+  // per sample window). The expected fill time of one leaf buffer is
+  // batch / (rate / active leaves); give it 2x slack, keep the configured
+  // deadline as the upper clamp (and a tenth of it as the lower), so a hot
+  // stream seals laggard buffers quickly while a trickle still gets the
+  // full window.
+  const double rate = planner_.estimate(cfg_.group) / cfg_.replan_interval;
+  if (rate <= 0.0) return cap;
+  const double leaves = static_cast<double>(std::max<std::uint32_t>(
+      1, active_));
+  const double fill = 2.0 * static_cast<double>(cfg_.updates_per_leaf) *
+                      leaves / rate;
+  return std::clamp(fill, 0.1 * cap, cap);
+}
+
 void StreamingHierarchy::arm_leaf_deadline(LeafSlot& s) {
   ++s.gen;  // invalidates any timer of the previous activation
   if (!cfg_.async || cfg_.seal_deadline_secs <= 0.0) return;
   LeafSlot* sp = &s;
   const std::uint64_t gen = s.gen;
-  sim().schedule_after(cfg_.seal_deadline_secs,
+  sim().schedule_after(leaf_deadline_secs(),
                        [this, sp, gen] { flush_leaf(sp, gen); });
 }
 
@@ -156,7 +217,7 @@ void StreamingHierarchy::flush_leaf(LeafSlot* s, std::uint64_t gen) {
   const std::uint32_t have = s->rt->received();
   if (have == 0) {
     // Empty buffer: nothing to seal; push the deadline back.
-    sim().schedule_after(cfg_.seal_deadline_secs,
+    sim().schedule_after(leaf_deadline_secs(),
                          [this, s, gen] { flush_leaf(s, gen); });
     return;
   }
@@ -201,8 +262,9 @@ void StreamingHierarchy::retire_leaf(LeafSlot& s) {
   // else: the batch is fully received and mid-fold — it completes through
   // the normal path and parks (retiring) in on_leaf_batch; nothing drained.
   // A release with no survivor to re-claim it would stall the round: wake a
-  // mop-up leaf from the pool.
-  if (active_ == 0 && claimed_ < target_) activate_leaf();
+  // mop-up leaf from the pool. Suppressed during a quorum seal's mass
+  // retire — the released remainder is being abandoned, not re-claimed.
+  if (!quorum_sealed_ && active_ == 0 && claimed_ < target_) activate_leaf();
 }
 
 void StreamingHierarchy::park_leaf(LeafSlot& s) {
@@ -274,23 +336,139 @@ bool StreamingHierarchy::sampler_tick() {
   return !relay_done_;
 }
 
+void StreamingHierarchy::recover_leaf(LeafSlot* s) {
+  ++round_.leaf_crashes;
+  ++total_.leaf_crashes;
+  auto& pool = plane_.env(cfg_.node).pool;
+  // Abort the dead instance's leases: every client update it accepted but
+  // never emitted comes back, in acceptance order.
+  std::vector<fl::ModelUpdate> lost = pool.lease_abort(leaf_id(*s));
+  round_.refolded += lost.size();
+  total_.refolded += lost.size();
+  // The corpse cannot be destroyed here — we are inside its crash
+  // callback — so it waits in the graveyard until the round ends.
+  graveyard_.push_back(std::move(s->rt));
+  // Replacement under the same id and the same (possibly sealed-down)
+  // batch goal: a warm re-arm when the pool has a sandbox, else a cold
+  // spawn — the recovery latency the round actually pays. In-flight sends
+  // to the leaf's id resolve their route at delivery time and reach it.
+  const bool cold = pool_.empty();
+  s->rt = acquire(leaf_config(*s));
+  if (cold && cfg_.cold_start_spawns) {
+    round_.recovery_secs += calib::kLiflColdStartSecs;
+    total_.recovery_secs += calib::kLiflColdStartSecs;
+  }
+  arm_leaf_deadline(*s);
+  // Re-queue the recovered updates: the replacement's pool pulls (or any
+  // other live leaf's) re-claim and re-fold them — zero samples lost.
+  for (auto& u : lost) pool.push(std::move(u));
+}
+
+void StreamingHierarchy::recover_middle(std::size_t mi) {
+  ++round_.middle_crashes;
+  ++total_.middle_crashes;
+  Middle& m = middles_[mi];
+  auto& pool = plane_.env(cfg_.node).pool;
+  std::vector<fl::ModelUpdate> lost = pool.lease_abort(m.id);
+  round_.reinjected += lost.size();
+  total_.reinjected += lost.size();
+  graveyard_.push_back(std::move(m.rt));
+  // Rebuild with the goal state the round has reached: still open while
+  // batches are being assigned, sealed at the routed count afterwards.
+  fl::AggregatorRuntime::Config mc = middle_config(m.id, mi);
+  if (sealed_) {
+    mc.goal = static_cast<std::uint32_t>(m.assigned);
+    mc.goal_open = false;
+  }
+  const bool cold = pool_.empty();
+  m.rt = acquire(std::move(mc));
+  if (cold && cfg_.cold_start_spawns) {
+    round_.recovery_secs += calib::kLiflColdStartSecs;
+    total_.recovery_secs += calib::kLiflColdStartSecs;
+  }
+  // Re-inject the retained leaf partials directly: they are folded
+  // *messages* of this middle, not pool entries — routing them through the
+  // group pool would hand whole partials to message-counting leaves.
+  for (auto& u : lost) m.rt->inject(std::move(u));
+}
+
+void StreamingHierarchy::quorum_check(std::uint32_t round) {
+  if (round != round_num_ || relay_done_ || quorum_sealed_) return;
+  const auto& pool = plane_.env(cfg_.node).pool;
+  // Client uploads that reached the group this round: pushes since the
+  // round epoch, minus recovery re-pushes (re-folds, not fresh arrivals).
+  const std::uint64_t pushed = pool.total_pushed() - round_base_pushed_;
+  const std::uint64_t arrived =
+      pushed > round_.refolded ? pushed - round_.refolded : 0;
+  const auto quorum_target = static_cast<std::uint64_t>(
+      std::ceil(cfg_.quorum * static_cast<double>(target_)));
+  if (arrived >= quorum_target) {
+    seal_quorum();
+    return;
+  }
+  // Deadline passed but the quorum itself has not arrived yet: keep
+  // waiting for it, probing at an eighth of the deadline.
+  sim().schedule_after(cfg_.round_deadline_secs / 8.0,
+                       [this, round] { quorum_check(round); });
+}
+
+void StreamingHierarchy::seal_quorum() {
+  quorum_sealed_ = true;
+  ++round_.quorum_seals;
+  ++total_.quorum_seals;
+  // Retire every active leaf: partial buffers drain upward, unfilled
+  // claims release and stay released (the mop-up reactivation is
+  // suppressed) — the round finishes with what it has.
+  for (auto& s : slots_) {
+    if (s->rt && !s->retiring) retire_leaf(*s);
+  }
+  const std::uint64_t abandoned = target_ - claimed_;
+  round_.quorum_abandoned += abandoned;
+  total_.quorum_abandoned += abandoned;
+  target_ = claimed_;
+  if (!sealed_) {
+    sealed_ = true;
+    seal_middles();
+  }
+  if (claimed_ == 0) {
+    relay_done_ = true;  // nothing ever arrived: the group sits the round out
+  } else if (relay_) {
+    relay_->set_goal(static_cast<std::uint32_t>(target_), /*open=*/false);
+  }
+  // Abandoned stragglers that do land later sit in the pool and fall to
+  // the next round's leaves, whose version gate drops them (with a
+  // replacement pull), so they cannot wedge future rounds.
+  if (abandoned > 0 && cfg_.on_quorum_shortfall) {
+    cfg_.on_quorum_shortfall(abandoned);
+  }
+  planner_.set_current(cfg_.group, active_);
+}
+
 void StreamingHierarchy::begin_round(std::uint32_t round,
                                      std::uint64_t target,
-                                     const ctrl::GroupPlan& plan) {
+                                     const ctrl::GroupPlan& plan,
+                                     double epoch) {
+  const double anchor = epoch >= 0.0 ? epoch : sim().now();
   round_num_ = round;
   target_ = target;
   claimed_ = 0;
   forwarded_ = 0;
   sealed_ = false;
   relay_done_ = false;
+  quorum_sealed_ = false;
   rr_ = 0;
   round_ = Stats{};
+  // Round-local fault draws: replaying this round from its boundary
+  // re-derives the identical crash schedule.
+  fault_seq_ = 0;
+  graveyard_.clear();  // last round's corpses are safe to reclaim now
   if (!cfg_.reuse) pool_.clear();  // churn baseline: nothing stays warm
   auto& pool = plane_.env(cfg_.node).pool;
   // Waiters left by drained leaves of earlier rounds are dead (their ctx
   // was invalidated at park); clear them so pushes wake live leaves first.
   pool.clear_waiters();
   last_pushed_ = pool.total_pushed();
+  round_base_pushed_ = pool.total_pushed();
   if (target == 0) {
     relay_done_ = true;  // nothing to aggregate: the group sits the round out
     planner_.set_current(cfg_.group, 0);
@@ -319,18 +497,7 @@ void StreamingHierarchy::begin_round(std::uint32_t round,
   for (std::uint32_t m = 0; m < plan.middles; ++m) {
     Middle mid;
     mid.id = cfg_.middle_base + m;
-    fl::AggregatorRuntime::Config mc;
-    mc.id = mid.id;
-    mc.node = cfg_.node;
-    mc.role = fl::AggRole::kMiddle;
-    mc.timing = fl::AggTiming::kEager;
-    mc.goal = 0;
-    mc.goal_open = true;
-    mc.goal_kind = fl::GoalKind::kFoldedUpdates;
-    mc.consumer = cfg_.relay_id;
-    mc.result_bytes = cfg_.result_bytes;
-    mc.expected_version = round;
-    mid.rt = acquire(std::move(mc));
+    mid.rt = acquire(middle_config(mid.id, middles_.size()));
     middles_.push_back(std::move(mid));
   }
 
@@ -344,25 +511,40 @@ void StreamingHierarchy::begin_round(std::uint32_t round,
   // itself once the group's relay completed, so it cannot keep the
   // simulation alive past the round.
   if (cfg_.replan_interval > 0.0 && !relay_done_) {
-    sim::schedule_every(sim(), sim().now() + cfg_.replan_interval,
+    sim::schedule_every(sim(), anchor + cfg_.replan_interval,
                         cfg_.replan_interval,
                         [this] { return sampler_tick(); });
+  }
+
+  // ---- graceful degradation: after the round deadline, seal at quorum
+  // instead of stalling on stragglers. The probe carries the round number
+  // so one left over from an early-finishing round dies harmlessly.
+  if (cfg_.quorum < 1.0 && cfg_.round_deadline_secs > 0.0 && !relay_done_) {
+    const std::uint32_t r = round_num_;
+    sim().schedule_at(anchor + cfg_.round_deadline_secs,
+                      [this, r] { quorum_check(r); });
   }
 }
 
 void StreamingHierarchy::begin_stream(std::uint64_t target,
-                                      const ctrl::GroupPlan& plan) {
+                                      const ctrl::GroupPlan& plan,
+                                      double epoch) {
+  const double anchor = epoch >= 0.0 ? epoch : sim().now();
   round_num_ = 0;  // async: no round — leaf configs accept any version
   target_ = target;
   claimed_ = 0;
   forwarded_ = 0;
   sealed_ = false;
   relay_done_ = false;
+  quorum_sealed_ = false;
   rr_ = 0;
   round_ = Stats{};
+  fault_seq_ = 0;  // stream-local: replay re-derives the crash schedule
+  graveyard_.clear();
   auto& pool = plane_.env(cfg_.node).pool;
   pool.clear_waiters();
   last_pushed_ = pool.total_pushed();
+  round_base_pushed_ = pool.total_pushed();
   if (target == 0) {
     relay_done_ = true;
     planner_.set_current(cfg_.group, 0);
@@ -414,7 +596,7 @@ void StreamingHierarchy::begin_stream(std::uint64_t target,
   // as a round; the sampled signal (pool depth + arrival flux) *is* the
   // leaf-buffer pressure here.
   if (cfg_.replan_interval > 0.0 && !relay_done_) {
-    sim::schedule_every(sim(), sim().now() + cfg_.replan_interval,
+    sim::schedule_every(sim(), anchor + cfg_.replan_interval,
                         cfg_.replan_interval,
                         [this] { return sampler_tick(); });
   }
@@ -462,6 +644,10 @@ void StreamingHierarchy::end_round() {
     relay_->stop();
     park(std::move(relay_));
   }
+  // Crashed sandboxes: safe to reclaim now — the round is over, so no
+  // event on the calendar can still hold their callbacks' context alive
+  // in a way that dereferences them (ctx->rt was nulled at fail()).
+  graveyard_.clear();
   if (!cfg_.reuse) pool_.clear();
 }
 

@@ -8,6 +8,7 @@
 #include "src/control/campaign_planner.hpp"
 #include "src/dataplane/dataplane.hpp"
 #include "src/fl/aggregator_runtime.hpp"
+#include "src/sim/fault_plan.hpp"
 #include "src/sim/time.hpp"
 
 namespace lifl::sys {
@@ -100,6 +101,38 @@ class StreamingHierarchy {
     /// The group's server-version slot (planner `version_ptr`): wired into
     /// leaf configs so folds are discounted by staleness.
     const std::uint32_t* live_version = nullptr;
+    /// Adaptive seal deadlines: size each buffer's deadline from the
+    /// planner's arrival EWMA — the expected time for this leaf to fill its
+    /// batch at the current per-leaf arrival rate, with 2x slack — instead
+    /// of the fixed `seal_deadline_secs`, which then acts as the upper
+    /// clamp (lower clamp: a tenth of it). Until the EWMA initializes the
+    /// fixed deadline applies. Group-local and deterministic.
+    bool adaptive_deadline = false;
+
+    // ---- fault domain ----------------------------------------------------
+    /// Deterministic fault schedule (null = fault-free). When set, every
+    /// aggregator consumes under lease semantics and each leaf/middle
+    /// arming draws a crash point from the plan; a crashed instance is
+    /// replaced from the warm pool and its un-acked claims are re-folded
+    /// (leaves: aborted leases re-queue to the group pool; middles: the
+    /// retained leaf partials re-inject into the replacement).
+    const sim::FaultPlan* faults = nullptr;
+    /// Graceful degradation for synchronous rounds: after
+    /// `round_deadline_secs` the round seals at this fraction of its target
+    /// instead of stalling on stragglers (1.0 = wait for everything).
+    /// Active leaves drain their partial buffers upward, unclaimed work is
+    /// abandoned (reported via `on_quorum_shortfall` so the campaign can
+    /// shrink the top goal), and late uploads fall through to the next
+    /// round's stale-drop path. Async buffers already force-seal.
+    double quorum = 1.0;
+    /// Round deadline (simulated seconds past the round epoch) after which
+    /// quorum sealing may fire; progress is re-checked periodically until
+    /// the quorum is met or the round finishes. 0 disables.
+    double round_deadline_secs = 0.0;
+    /// Fired when a quorum seal abandons part of the round target, with the
+    /// number of abandoned client updates (the campaign shrinks the top
+    /// aggregator's folded-count goal by it).
+    std::function<void(std::uint64_t)> on_quorum_shortfall;
   };
 
   /// Spawn/reuse/re-plan accounting; `round_stats` resets at begin_round.
@@ -112,6 +145,18 @@ class StreamingHierarchy {
     std::uint64_t replans = 0;   ///< mid-round plan changes applied
     std::uint64_t drains = 0;    ///< partial accumulators drained on shrink
     std::uint32_t peak_leaves = 0;
+
+    // ---- fault/recovery telemetry ---------------------------------------
+    std::uint64_t leaf_crashes = 0;    ///< injected leaf crashes recovered
+    std::uint64_t middle_crashes = 0;  ///< injected middle crashes recovered
+    std::uint64_t refolded = 0;    ///< client updates re-queued from aborted
+                                   ///< leaf leases and folded again
+    std::uint64_t reinjected = 0;  ///< leaf partials re-injected into a
+                                   ///< replacement middle
+    std::uint64_t quorum_seals = 0;      ///< rounds sealed at quorum
+    std::uint64_t quorum_abandoned = 0;  ///< client updates abandoned by seals
+    double recovery_secs = 0.0;  ///< replacement spawn time paid (cold-start
+                                 ///< seconds; warm re-arms recover for free)
   };
 
   StreamingHierarchy(dp::DataPlane& plane, ctrl::CampaignPlanner& planner,
@@ -122,9 +167,13 @@ class StreamingHierarchy {
 
   /// Arm the group's tree for a round of exactly `target` client updates
   /// (coordinator thread, shard idle). `plan` is the round-boundary plan
-  /// for this group.
+  /// for this group. `epoch` anchors the round's wall pulses (re-plan
+  /// sampler, quorum deadline): pass the campaign's round epoch — the
+  /// *global* barrier time — so pulse times do not depend on this shard's
+  /// local clock, which varies with the shard count. Negative (the
+  /// default) anchors to this shard's clock, fine for single-shard use.
   void begin_round(std::uint32_t round, std::uint64_t target,
-                   const ctrl::GroupPlan& plan);
+                   const ctrl::GroupPlan& plan, double epoch = -1.0);
 
   /// Arm the group's tree for one continuous asynchronous stream of
   /// `target` client updates (kAsync: the whole campaign, not one round).
@@ -136,7 +185,8 @@ class StreamingHierarchy {
   /// `Config::flush_updates` folded updates (shrinking to the remainder at
   /// the tail), so nothing ever waits for a round barrier. `round_done()`
   /// flips when all `target` updates have been forwarded.
-  void begin_stream(std::uint64_t target, const ctrl::GroupPlan& plan);
+  void begin_stream(std::uint64_t target, const ctrl::GroupPlan& plan,
+                    double epoch = -1.0);
 
   /// Park the round's (or stream's) remaining instances into the warm pool
   /// (coordinator thread, shard idle, after the round completed). With
@@ -206,11 +256,32 @@ class StreamingHierarchy {
   std::size_t assign_parent(std::uint64_t n);
   void seal_middles();
   fl::AggregatorRuntime::Config leaf_config(const LeafSlot& s);
+  /// Middle config as armed at begin_round; `recover_middle` rebuilds from
+  /// it so a replacement resumes with the goal state the round reached.
+  fl::AggregatorRuntime::Config middle_config(fl::ParticipantId id,
+                                              std::size_t mi);
   bool activate_leaf();
   void retire_leaf(LeafSlot& s);
   void park_leaf(LeafSlot& s);
   void on_leaf_batch(LeafSlot* s, fl::ModelUpdate u);
   bool sampler_tick();
+  /// Lossless leaf recovery: abort the dead instance's leases back into the
+  /// group pool, move the dead sandbox to the graveyard, and re-arm the
+  /// slot with a warm (or cold-spawned) replacement that re-claims and
+  /// re-folds them. Runs synchronously from the crashed runtime's
+  /// `on_failed`.
+  void recover_leaf(LeafSlot* s);
+  /// Lossless middle recovery: aborted leases (whole leaf partials) are
+  /// re-injected straight into the same-id replacement — routing them
+  /// through the pool would corrupt the leaves' message accounting.
+  void recover_middle(std::size_t mi);
+  /// Periodic post-deadline quorum probe; seals the round once arrivals
+  /// reach quorum * target (or immediately if they already have).
+  void quorum_check(std::uint32_t round);
+  void seal_quorum();
+  /// Effective seal deadline for the next buffer (fixed, or sized from the
+  /// arrival EWMA under Config::adaptive_deadline).
+  double leaf_deadline_secs() const;
   /// Relay flush threshold (async): Config::flush_updates or one middle's
   /// worth.
   std::uint32_t relay_flush() const;
@@ -229,6 +300,10 @@ class StreamingHierarchy {
   std::vector<Middle> middles_;
   std::vector<std::unique_ptr<LeafSlot>> slots_;
   std::vector<std::unique_ptr<fl::AggregatorRuntime>> pool_;
+  /// Crashed sandboxes: a runtime cannot be destroyed from inside its own
+  /// crash callback, so recovery parks the corpse here; reclaimed at
+  /// end_round. Never re-armed.
+  std::vector<std::unique_ptr<fl::AggregatorRuntime>> graveyard_;
 
   std::uint32_t round_num_ = 0;
   std::uint64_t target_ = 0;
@@ -236,9 +311,15 @@ class StreamingHierarchy {
   std::uint64_t forwarded_ = 0;  ///< async: client updates relayed upward
   bool sealed_ = false;      ///< the round's batches are fully assigned
   bool relay_done_ = false;
+  bool quorum_sealed_ = false;   ///< this round was sealed at quorum
   std::uint32_t active_ = 0;     ///< live, non-retiring leaves
   std::size_t rr_ = 0;           ///< middle round-robin cursor
   std::uint64_t last_pushed_ = 0;  ///< pool total_pushed at last sample
+  /// Round-local fault-draw counter: each leaf/middle arming consumes one
+  /// draw, in group-local event order, so checkpoint replay re-derives the
+  /// identical crash schedule with nothing serialized.
+  std::uint64_t fault_seq_ = 0;
+  std::uint64_t round_base_pushed_ = 0;  ///< pool total_pushed at round epoch
 };
 
 }  // namespace lifl::sys
