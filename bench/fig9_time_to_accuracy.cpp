@@ -14,6 +14,12 @@
 // under 30% stragglers. Emits BENCH_fig9_async.json; CI runs it in Release
 // and fails the job if async time-to-accuracy regresses above synchronous
 // (LIFL_FIG9_GATE=0 disables the gate).
+//
+// Plus the selection extension A/B: the same campaign on a tiered device
+// population (flagship/mid-range/IoT) under 30% stragglers, selected by
+// the legacy random oracle vs the scored heterogeneity-aware strategy.
+// Emits BENCH_fig9_selector.json and gates scored at >= 15% faster
+// time-to-70%-accuracy (same LIFL_FIG9_GATE switch).
 
 #include <cstdio>
 #include <cstdlib>
@@ -251,6 +257,101 @@ int run_async_ab() {
   return 0;
 }
 
+// ---- heterogeneity-aware selection A/B (the PR-8 extension) -------------
+
+/// Runs the same tiered campaign under 30% stragglers with the legacy
+/// random selector and with the scored (Apodotiko-style) strategy, prints
+/// the comparison, writes BENCH_fig9_selector.json, and returns the gate
+/// verdict (scored at least 15% faster to 70% accuracy).
+///
+/// Mechanism: on a tiered population the straggler mass lands IoT-first,
+/// so at a 30% fraction every IoT arrival uploads 30 s late. Random keeps
+/// picking them and every round stalls on the tail; scored learns the
+/// tier's duration EWMA after round 1 and hard-excludes it
+/// (`exclude_below`), so later rounds close without the straggler delay.
+int run_selector_ab() {
+  const bench::BenchMeta meta;
+  const auto curve = ml::AccuracyModel::resnet18_femnist();
+  constexpr double kTarget = 0.70;
+
+  auto random_cfg = ab_campaign();
+  random_cfg.hierarchy = sys::HierarchyMode::kPlanned;
+  random_cfg.rounds = 6;  // round 1 pays the learning cost either way
+  random_cfg.device_tiers = {0.4, 0.3, 0.3};
+  auto scored_cfg = random_cfg;
+  scored_cfg.selector = ctrl::SelectorPolicy::kScored;
+
+  std::printf(
+      "\nFig. 9 (selection extension) — random vs scored selection, "
+      "tiered population, 30%% stragglers +%gs\n",
+      random_cfg.straggler_delay_secs);
+  const AbOutcome random_ab = measure(random_cfg, curve, kTarget);
+  const AbOutcome scored_ab = measure(scored_cfg, curve, kTarget);
+
+  sys::Table t({"selector", "rounds", "sim(s)", "eff rounds", "eff rounds/s",
+                "secs to 70%"});
+  const auto row = [&t](const char* label, const AbOutcome& o) {
+    t.row({label, std::to_string(o.versions), sys::fmt(o.sim_secs, 2),
+           sys::fmt(o.eff_rounds, 3), sys::fmt(o.rate, 4),
+           sys::fmt(o.secs_to_target, 1)});
+  };
+  row("random (legacy oracle)", random_ab);
+  row("scored (telemetry)", scored_ab);
+  t.print("Same campaign, same arrival process; scored learns the "
+          "straggler tier from round-1 telemetry and stops picking it");
+  const double speedup = scored_ab.secs_to_target > 0.0
+                             ? random_ab.secs_to_target /
+                                   scored_ab.secs_to_target
+                             : 0.0;
+  std::printf("scored speedup to 70%%: %.2fx\n", speedup);
+
+  FILE* out = std::fopen("BENCH_fig9_selector.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    meta.write_json_fields(out);
+    std::fprintf(out,
+                 "  \"bench\": \"fig9_selector\",\n"
+                 "  \"straggler_fraction\": %.2f,\n"
+                 "  \"straggler_delay_secs\": %.1f,\n"
+                 "  \"random_sim_secs\": %.6f,\n"
+                 "  \"scored_sim_secs\": %.6f,\n"
+                 "  \"random_secs_to_target\": %.3f,\n"
+                 "  \"scored_secs_to_target\": %.3f,\n"
+                 "  \"speedup\": %.4f\n"
+                 "}\n",
+                 random_cfg.straggler_fraction,
+                 random_cfg.straggler_delay_secs, random_ab.sim_secs,
+                 scored_ab.sim_secs, random_ab.secs_to_target,
+                 scored_ab.secs_to_target, speedup);
+    std::fclose(out);
+    std::printf("wrote BENCH_fig9_selector.json\n");
+  }
+
+  // ---- gate: heterogeneity-aware selection must beat blind random by at
+  // least 15% time-to-accuracy under a 30% straggler tail (PR-8
+  // acceptance; the learned exclusion typically lands well above 2x).
+  bool gate = true;
+  if (const char* env = std::getenv("LIFL_FIG9_GATE")) {
+    gate = std::strcmp(env, "0") != 0;
+  }
+  if (!gate) {
+    std::printf("gate SKIPPED (LIFL_FIG9_GATE=0)\n");
+    return 0;
+  }
+  if (random_ab.secs_to_target <= 0.0 || scored_ab.secs_to_target <= 0.0 ||
+      scored_ab.secs_to_target > 0.85 * random_ab.secs_to_target) {
+    std::fprintf(stderr,
+                 "gate FAILED: scored %.1f s to 70%% vs random %.1f s "
+                 "(gate: scored <= 85%% of random)\n",
+                 scored_ab.secs_to_target, random_ab.secs_to_target);
+    return 1;
+  }
+  std::printf("gate OK: scored %.1f s <= 85%% of random %.1f s to 70%% "
+              "accuracy (%.2fx)\n",
+              scored_ab.secs_to_target, random_ab.secs_to_target, speedup);
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -260,5 +361,7 @@ int main() {
       "        ResNet-152 LIFL 1.9h/4.76CPUh, SF 2.2h/6.81, SL 3.2h/20.4)\n");
   run_workload({"ResNet-18, 120 active mobile clients", resnet18_setup()});
   run_workload({"ResNet-152, 15 active server clients", resnet152_setup()});
-  return run_async_ab();
+  const int async_rc = run_async_ab();
+  const int selector_rc = run_selector_ab();
+  return async_rc != 0 ? async_rc : selector_rc;
 }

@@ -39,12 +39,23 @@
 // fraction of uploads by `--straggler-delay=SECS` (both modes — the
 // sync-vs-async A/B knob of bench/fig9_time_to_accuracy).
 //
+// With `--device-tiers=F,M,I` the population splits into flagship /
+// mid-range / IoT compute+uplink classes (shares summing to 1), and
+// `--disconnect-rate=F` runs the flaky client lifecycle on top: sessions
+// disconnect mid-upload at the tier-scaled rate, park the update in a
+// bounded offline queue, and resume chunk-wise from the last acked offset.
+// `--selector=random|scored|cluster` picks the client-selection strategy
+// (scored/cluster learn per-tier completion telemetry and steer away from
+// straggler tiers). The summary then adds a per-tier participation table.
+//
 // Build & run:  cmake -B build && cmake --build build -j
 //               ./build/examples/mega_campaign            # full 1M clients
 //               ./build/examples/mega_campaign 100000     # quicker slice
 //               ./build/examples/mega_campaign --shards=4 # threaded core
 //               ./build/examples/mega_campaign --shards=4 --hierarchy=planned
 //               ./build/examples/mega_campaign --shards=4 --hierarchy=async
+//               ./build/examples/mega_campaign --device-tiers=0.4,0.3,0.3 \
+//                   --disconnect-rate=0.2 --selector=scored
 
 #include <chrono>
 #include <cmath>
@@ -223,6 +234,19 @@ struct AsyncOpts {
   double straggler_delay_secs = 60.0;
 };
 
+/// Edge-client knobs: tiered populations, flaky lifecycle, selection
+/// strategy (sharded path only).
+struct EdgeOpts {
+  wl::TierMix tiers;              ///< --device-tiers=F,M,I (all-zero = off)
+  double disconnect_rate = 0.0;   ///< --disconnect-rate=F
+  ctrl::SelectorPolicy selector = ctrl::SelectorPolicy::kRandom;
+
+  bool any() const {
+    return tiers.enabled() || disconnect_rate > 0.0 ||
+           selector != ctrl::SelectorPolicy::kRandom;
+  }
+};
+
 /// Fault-injection and graceful-degradation knobs (sharded path only).
 struct FaultOpts {
   bool enabled = false;         ///< --fault-plan=SEED given
@@ -238,7 +262,7 @@ struct FaultOpts {
 int run_sharded(const CampaignConfig& cfg, std::size_t shards,
                 sys::HierarchyMode mode, double replan_interval, bool reuse,
                 const CheckpointOpts& ck, const AsyncOpts& as,
-                const FaultOpts& fo) {
+                const FaultOpts& fo, const EdgeOpts& eo) {
   sys::ShardedCampaignConfig scfg;
   scfg.shards = shards;
   scfg.groups = cfg.nodes;
@@ -270,6 +294,13 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
     scfg.quorum = fo.quorum;
     scfg.round_deadline_secs = fo.round_deadline_secs;
   }
+  scfg.device_tiers = eo.tiers;
+  scfg.selector = eo.selector;
+  if (eo.disconnect_rate > 0.0) {
+    scfg.lifecycle.disconnect_rate = eo.disconnect_rate;
+    scfg.lifecycle.offline_base_secs = 0.05;
+    scfg.lifecycle.offline_cap_secs = 1.0;
+  }
 
   const bool planned = mode == sys::HierarchyMode::kPlanned;
   const bool is_async = mode == sys::HierarchyMode::kAsync;
@@ -295,6 +326,19 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
   if (fo.quorum < 1.0) {
     std::printf("quorum: rounds seal at %.0f%% after a %.0f s deadline\n\n",
                 100.0 * fo.quorum, fo.round_deadline_secs);
+  }
+  if (eo.tiers.enabled()) {
+    std::printf(
+        "device tiers: %.0f%% flagship / %.0f%% mid-range / %.0f%% IoT, "
+        "%s selection\n\n",
+        100.0 * eo.tiers.flagship, 100.0 * eo.tiers.mid,
+        100.0 * eo.tiers.iot, ctrl::selector_policy_name(eo.selector));
+  }
+  if (eo.disconnect_rate > 0.0) {
+    std::printf(
+        "flaky lifecycle: %.0f%% base mid-upload disconnect rate — parked "
+        "updates resume chunk-wise from the last acked offset\n\n",
+        100.0 * eo.disconnect_rate);
   }
 
   const auto r = sys::run_sharded_campaign(scfg);
@@ -348,6 +392,36 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
         static_cast<unsigned long long>(r.quorum_abandoned),
         r.recovery_secs);
   }
+  if (eo.tiers.enabled()) {
+    sys::Table tt({"tier", "selected", "completed", "success", "disconnects",
+                   "stragglers"});
+    for (std::size_t i = 0; i < wl::kTierCount; ++i) {
+      const auto& ts = r.tiers[i];
+      const double success =
+          ts.selected > 0 ? static_cast<double>(ts.completed) /
+                                static_cast<double>(ts.selected)
+                          : 0.0;
+      tt.row({wl::tier_name(static_cast<wl::DeviceTier>(i)),
+              std::to_string(ts.selected), std::to_string(ts.completed),
+              sys::fmt(100.0 * success, 1) + "%",
+              std::to_string(ts.disconnects),
+              std::to_string(ts.stragglers)});
+    }
+    tt.print("Per-tier participation");
+  }
+  if (eo.disconnect_rate > 0.0) {
+    std::printf(
+        "lifecycle: %llu disconnects, %llu resumed, %llu chunks acked "
+        "(%llu re-sent), %llu redraws, offline-queue peak %llu, "
+        "%.1f s gate wait\n",
+        static_cast<unsigned long long>(r.disconnects),
+        static_cast<unsigned long long>(r.resumed_uploads),
+        static_cast<unsigned long long>(r.chunks_sent),
+        static_cast<unsigned long long>(r.chunks_resent),
+        static_cast<unsigned long long>(r.selection_redraws),
+        static_cast<unsigned long long>(r.offline_queue_peak),
+        r.gate_wait_secs);
+  }
   if (ck.every_secs > 0.0) {
     std::printf(
         "checkpoints: %llu marks billed, %llu blobs written (%llu bytes, "
@@ -376,6 +450,7 @@ int main(int argc, char** argv) {
   CheckpointOpts ck;
   AsyncOpts as;
   FaultOpts fo;
+  EdgeOpts eo;
   const auto usage = [&argv] {
     std::fprintf(stderr,
                  "usage: %s [population >= 1000] [--shards=K] "
@@ -383,7 +458,9 @@ int main(int argc, char** argv) {
                  "[--reuse=0|1] [--checkpoint=PATH] [--resume=PATH] "
                  "[--checkpoint-every=SECS] [--async-deadline=SECS] "
                  "[--stragglers=FRACTION] [--straggler-delay=SECS] "
-                 "[--fault-plan=SEED] [--leaf-crash-rate=F] [--quorum=F]\n",
+                 "[--fault-plan=SEED] [--leaf-crash-rate=F] [--quorum=F] "
+                 "[--device-tiers=F,M,I] [--disconnect-rate=F] "
+                 "[--selector=random|scored|cluster]\n",
                  argv[0]);
     return 2;
   };
@@ -490,6 +567,35 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strncmp(argv[a], "--device-tiers=", 15) == 0) {
+      char* end = nullptr;
+      const char* p = argv[a] + 15;
+      eo.tiers.flagship = std::strtod(p, &end);
+      if (end == p || *end != ',') return usage();
+      p = end + 1;
+      eo.tiers.mid = std::strtod(p, &end);
+      if (end == p || *end != ',') return usage();
+      p = end + 1;
+      eo.tiers.iot = std::strtod(p, &end);
+      if (end == p || *end != '\0' || !eo.tiers.enabled()) return usage();
+      continue;
+    }
+    if (std::strncmp(argv[a], "--disconnect-rate=", 18) == 0) {
+      char* end = nullptr;
+      eo.disconnect_rate = std::strtod(argv[a] + 18, &end);
+      if (end == argv[a] + 18 || *end != '\0' ||
+          !std::isfinite(eo.disconnect_rate) || eo.disconnect_rate < 0.0 ||
+          eo.disconnect_rate >= 1.0) {
+        return usage();
+      }
+      continue;
+    }
+    if (std::strncmp(argv[a], "--selector=", 11) == 0) {
+      if (!ctrl::parse_selector_policy(argv[a] + 11, eo.selector)) {
+        return usage();
+      }
+      continue;
+    }
     if (std::strncmp(argv[a], "--reuse=", 8) == 0) {
       if (std::strcmp(argv[a] + 8, "0") == 0) {
         reuse = false;
@@ -519,7 +625,7 @@ int main(int argc, char** argv) {
       ck.every_secs > 0.0 || !ck.checkpoint.empty() || !ck.resume.empty();
   if (ck_flag && ck.every_secs <= 0.0) ck.every_secs = 20.0;
   if ((hierarchy_flag || ck_flag || as.straggler_fraction > 0.0 ||
-       fo.any()) &&
+       fo.any() || eo.any()) &&
       shards == 0) {
     shards = 1;
   }
@@ -527,8 +633,13 @@ int main(int argc, char** argv) {
   // pool) and quorum sealing is a planned-mode feature; default to planned
   // when the fault flags are given without an explicit --hierarchy.
   if (fo.any() && !hierarchy_flag) mode = sys::HierarchyMode::kPlanned;
+  // Scored/cluster-scan selection learns per-tier telemetry — default a
+  // tier mix when --selector is given without --device-tiers.
+  if (eo.selector != ctrl::SelectorPolicy::kRandom && !eo.tiers.enabled()) {
+    eo.tiers = {0.4, 0.3, 0.3};
+  }
   if (shards > 0) return run_sharded(cfg, shards, mode, replan_interval,
-                                     reuse, ck, as, fo);
+                                     reuse, ck, as, fo, eo);
 
   std::printf(
       "Mega campaign: %zu mobile clients, %zu nodes, %zu rounds x %zu "

@@ -1,0 +1,231 @@
+#include "src/control/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lifl::ctrl {
+
+bool parse_selector_policy(std::string_view s, SelectorPolicy& out) noexcept {
+  if (s == "random") {
+    out = SelectorPolicy::kRandom;
+  } else if (s == "scored") {
+    out = SelectorPolicy::kScored;
+  } else if (s == "cluster" || s == "cluster-scan") {
+    out = SelectorPolicy::kClusterScan;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Uniform-random selection — reproduces the legacy arrival-chain oracle
+/// bitwise on the primary draw (`probe` = 0), so existing campaigns keep
+/// their exact client schedules; redraws fall back to the hash family.
+class RandomStrategy final : public SelectionStrategy {
+ public:
+  RandomStrategy(Config cfg, std::uint64_t group)
+      : SelectionStrategy(cfg), group_(group) {}
+
+  SelectorPolicy policy() const noexcept override {
+    return SelectorPolicy::kRandom;
+  }
+
+  std::size_t pick(const wl::ClientPopulation& pop, std::uint64_t round,
+                   std::uint64_t seq, std::uint64_t probe) const override {
+    (void)round;
+    if (probe == 0) {
+      // Legacy oracle: Knuth multiplicative hash over the upload sequence.
+      return static_cast<std::size_t>((seq * 2654435761ull) % pop.size());
+    }
+    sim::Rng r(key(0x7a11ull, group_, seq, probe));
+    return static_cast<std::size_t>(r.uniform_index(pop.size()));
+  }
+
+  void report(wl::DeviceTier, double, bool) override {}
+
+ private:
+  std::uint64_t group_;
+};
+
+/// Shared base of the telemetry-driven strategies: per-tier EWMAs of
+/// completion duration and success, and a two-draw weighted pick (tier by
+/// CDF walk, then uniform within the tier's contiguous index range).
+class TierScoredStrategy : public SelectionStrategy {
+ public:
+  TierScoredStrategy(Config cfg, std::uint64_t group, std::uint64_t tag)
+      : SelectionStrategy(cfg),
+        group_(group),
+        tag_(tag),
+        dur_{Ewma(cfg.alpha), Ewma(cfg.alpha), Ewma(cfg.alpha)},
+        succ_{Ewma(cfg.alpha), Ewma(cfg.alpha), Ewma(cfg.alpha)} {}
+
+  std::size_t pick(const wl::ClientPopulation& pop, std::uint64_t round,
+                   std::uint64_t seq, std::uint64_t probe) const override {
+    const std::array<double, wl::kTierCount> w = weights(pop);
+    double sum = 0.0;
+    for (double x : w) sum += x;
+    sim::Rng r(key(tag_, group_ ^ (round << 20), seq, probe));
+    // Tier by CDF walk over the weights, then uniform within the tier.
+    wl::DeviceTier tier = wl::DeviceTier::kMidRange;
+    double u = r.uniform() * sum;
+    for (std::size_t t = 0; t < wl::kTierCount; ++t) {
+      u -= w[t];
+      if (u < 0.0 || t + 1 == wl::kTierCount) {
+        tier = static_cast<wl::DeviceTier>(t);
+        if (w[t] > 0.0) break;  // else keep walking to a populated tier
+      }
+    }
+    const std::size_t n = pop.tier_count(tier);
+    if (n == 0) return static_cast<std::size_t>(r.uniform_index(pop.size()));
+    return pop.tier_begin(tier) + static_cast<std::size_t>(r.uniform_index(n));
+  }
+
+  void report(wl::DeviceTier tier, double secs, bool success) override {
+    const auto t = static_cast<std::size_t>(tier);
+    if (success) dur_[t].observe(secs);
+    succ_[t].observe(success ? 1.0 : 0.0);
+  }
+
+  State state() const override {
+    State s;
+    for (std::size_t t = 0; t < wl::kTierCount; ++t) {
+      s.scores[t] = {dur_[t].value(), dur_[t].initialized(),
+                     succ_[t].value(), succ_[t].initialized()};
+    }
+    return s;
+  }
+
+  void restore(const State& s) override {
+    for (std::size_t t = 0; t < wl::kTierCount; ++t) {
+      dur_[t].restore(s.scores[t].dur, s.scores[t].dur_init);
+      succ_[t].restore(s.scores[t].succ, s.scores[t].succ_init);
+    }
+  }
+
+ protected:
+  /// Per-tier selection weights; a zero-sum result must not escape (the
+  /// implementations fall back to population shares).
+  virtual std::array<double, wl::kTierCount> weights(
+      const wl::ClientPopulation& pop) const = 0;
+
+  std::array<double, wl::kTierCount> shares(
+      const wl::ClientPopulation& pop) const {
+    std::array<double, wl::kTierCount> s{};
+    const double n = static_cast<double>(std::max<std::size_t>(1, pop.size()));
+    for (std::size_t t = 0; t < wl::kTierCount; ++t) {
+      s[t] = static_cast<double>(
+                 pop.tier_count(static_cast<wl::DeviceTier>(t))) /
+             n;
+    }
+    return s;
+  }
+
+  std::uint64_t group_;
+  std::uint64_t tag_;
+  std::array<Ewma, wl::kTierCount> dur_;
+  std::array<Ewma, wl::kTierCount> succ_;
+};
+
+/// Apodotiko-style scored selection: tiers are weighted by their success
+/// rate per unit duration relative to the best tier, raised to
+/// `score_gamma`; tiers below `exclude_below` of the best are cut out
+/// entirely. Unobserved tiers keep their neutral population share, so the
+/// first round explores and later rounds exploit.
+class ScoredStrategy final : public TierScoredStrategy {
+ public:
+  ScoredStrategy(Config cfg, std::uint64_t group)
+      : TierScoredStrategy(cfg, group, 0x5c0dull) {}
+
+  SelectorPolicy policy() const noexcept override {
+    return SelectorPolicy::kScored;
+  }
+
+ protected:
+  std::array<double, wl::kTierCount> weights(
+      const wl::ClientPopulation& pop) const override {
+    const auto share = shares(pop);
+    std::array<double, wl::kTierCount> raw{};
+    std::array<bool, wl::kTierCount> scored{};
+    double best = 0.0;
+    for (std::size_t t = 0; t < wl::kTierCount; ++t) {
+      if (!dur_[t].initialized() || !succ_[t].initialized()) continue;
+      raw[t] = succ_[t].value() / std::max(1e-9, dur_[t].value());
+      scored[t] = true;
+      best = std::max(best, raw[t]);
+    }
+    std::array<double, wl::kTierCount> w{};
+    double sum = 0.0;
+    for (std::size_t t = 0; t < wl::kTierCount; ++t) {
+      if (share[t] <= 0.0) continue;
+      if (!scored[t] || best <= 0.0) {
+        w[t] = share[t];
+      } else {
+        const double rel = raw[t] / best;
+        w[t] = rel < cfg_.exclude_below
+                   ? 0.0
+                   : share[t] * std::pow(rel, cfg_.score_gamma);
+      }
+      sum += w[t];
+    }
+    if (sum <= 0.0) return share;
+    return w;
+  }
+};
+
+/// FedLesScan-style cluster-scan: tiers whose duration EWMA exceeds
+/// `straggler_factor` x the fastest observed tier form the straggler
+/// cluster and keep only a `scan_weight` trickle (enough to notice when
+/// they recover); everything else keeps its population share.
+class ClusterScanStrategy final : public TierScoredStrategy {
+ public:
+  ClusterScanStrategy(Config cfg, std::uint64_t group)
+      : TierScoredStrategy(cfg, group, 0xc1a5ull) {}
+
+  SelectorPolicy policy() const noexcept override {
+    return SelectorPolicy::kClusterScan;
+  }
+
+ protected:
+  std::array<double, wl::kTierCount> weights(
+      const wl::ClientPopulation& pop) const override {
+    const auto share = shares(pop);
+    double min_dur = 0.0;
+    bool any = false;
+    for (std::size_t t = 0; t < wl::kTierCount; ++t) {
+      if (!dur_[t].initialized()) continue;
+      min_dur = any ? std::min(min_dur, dur_[t].value()) : dur_[t].value();
+      any = true;
+    }
+    std::array<double, wl::kTierCount> w{};
+    double sum = 0.0;
+    for (std::size_t t = 0; t < wl::kTierCount; ++t) {
+      if (share[t] <= 0.0) continue;
+      const bool straggler = any && dur_[t].initialized() &&
+                             dur_[t].value() > cfg_.straggler_factor * min_dur;
+      w[t] = straggler ? cfg_.scan_weight * share[t] : share[t];
+      sum += w[t];
+    }
+    if (sum <= 0.0) return share;
+    return w;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SelectionStrategy> make_selection_strategy(
+    SelectorPolicy policy, SelectionStrategy::Config cfg,
+    std::uint64_t group) {
+  switch (policy) {
+    case SelectorPolicy::kRandom:
+      return std::make_unique<RandomStrategy>(cfg, group);
+    case SelectorPolicy::kScored:
+      return std::make_unique<ScoredStrategy>(cfg, group);
+    case SelectorPolicy::kClusterScan:
+      return std::make_unique<ClusterScanStrategy>(cfg, group);
+  }
+  return std::make_unique<RandomStrategy>(cfg, group);
+}
+
+}  // namespace lifl::ctrl

@@ -2,23 +2,89 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <unordered_set>
 
 namespace lifl::ctrl {
 
+Selector::Selector(sim::Simulator& sim, Config cfg)
+    : sim_(sim), cfg_(cfg) {
+  if (!std::isfinite(cfg.overprovision) || cfg.overprovision < 0.0) {
+    throw std::invalid_argument(
+        "Selector: overprovision must be finite and >= 0");
+  }
+  if (!std::isfinite(cfg.heartbeat_period_secs) ||
+      cfg.heartbeat_period_secs <= 0.0) {
+    throw std::invalid_argument(
+        "Selector: heartbeat_period_secs must be finite and > 0");
+  }
+  if (!std::isfinite(cfg.heartbeat_timeout_secs) ||
+      cfg.heartbeat_timeout_secs < cfg.heartbeat_period_secs) {
+    throw std::invalid_argument(
+        "Selector: heartbeat_timeout_secs must be finite and >= "
+        "heartbeat_period_secs (a timeout shorter than the heartbeat period "
+        "declares every client dead)");
+  }
+  strategy_ = make_selection_strategy(cfg.policy, cfg.selection, /*group=*/0);
+}
+
 Selector::Cohort Selector::select(const wl::ClientPopulation& population,
-                                  std::uint32_t goal, sim::Rng& rng) const {
+                                  std::uint32_t goal, sim::Rng& rng) {
   Cohort cohort;
   cohort.goal = goal;
-  const auto want = static_cast<std::size_t>(
-      std::ceil(static_cast<double>(goal) * (1.0 + cfg_.overprovision)));
-  cohort.members = population.sample(std::min(want, population.size()), rng);
+  const auto want = std::min(
+      static_cast<std::size_t>(
+          std::ceil(static_cast<double>(goal) * (1.0 + cfg_.overprovision))),
+      population.size());
+  if (cfg_.policy == SelectorPolicy::kRandom) {
+    // Legacy oracle path: Floyd's uniform k-subset from the caller's rng,
+    // bitwise identical to the pre-strategy selector.
+    cohort.members = population.sample(want, rng);
+    return cohort;
+  }
+  // Weighted distinct draw from the strategy's stateless hash family:
+  // collisions re-draw with an incremented probe, so the cohort is a pure
+  // function of (strategy state, round counter).
+  const std::uint64_t round = round_++;
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(want * 2);
+  cohort.members.reserve(want);
+  for (std::uint64_t seq = 0; seq < want; ++seq) {
+    for (std::uint64_t probe = 0;; ++probe) {
+      const std::size_t idx = strategy_->pick(population, round, seq, probe);
+      if (seen.insert(idx).second) {
+        cohort.members.push_back(idx);
+        break;
+      }
+      if (probe > 64 + 2 * want) {
+        // Weighted mass is too concentrated to find another distinct
+        // member (tiny tier); accept a shorter cohort.
+        seq = want;
+        break;
+      }
+    }
+  }
   return cohort;
 }
 
 void Selector::track(fl::ParticipantId client,
                      std::function<void()> on_failure) {
+  track_impl(client, DeviceTier_None(), /*has_tier=*/false,
+             std::move(on_failure));
+}
+
+void Selector::track(fl::ParticipantId client, wl::DeviceTier tier,
+                     std::function<void()> on_failure) {
+  track_impl(client, tier, /*has_tier=*/true, std::move(on_failure));
+}
+
+void Selector::track_impl(fl::ParticipantId client, wl::DeviceTier tier,
+                          bool has_tier, std::function<void()> on_failure) {
   Tracked t;
   t.last_heartbeat = sim_.now();
+  t.started = sim_.now();
+  t.tier = tier;
+  t.has_tier = has_tier;
   t.on_failure = std::move(on_failure);
   t.alive = std::make_shared<bool>(true);
   arm_check(client, t.alive);
@@ -37,6 +103,10 @@ void Selector::arm_check(fl::ParticipantId client,
       // Heartbeats lapsed: declare the client failed and notify (the
       // coordinator substitutes a spare from the over-provisioned cohort).
       ++failures_;
+      if (it->second.has_tier) {
+        strategy_->report(it->second.tier, sim_.now() - it->second.started,
+                          /*success=*/false);
+      }
       auto on_failure = std::move(it->second.on_failure);
       *it->second.alive = false;
       tracked_.erase(it);
@@ -57,6 +127,10 @@ void Selector::heartbeat(fl::ParticipantId client) {
 void Selector::report_done(fl::ParticipantId client) {
   auto it = tracked_.find(client);
   if (it == tracked_.end()) return;
+  if (it->second.has_tier) {
+    strategy_->report(it->second.tier, sim_.now() - it->second.started,
+                      /*success=*/true);
+  }
   *it->second.alive = false;
   tracked_.erase(it);
 }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/control/selection.hpp"
 #include "src/fl/model_update.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/simulator.hpp"
@@ -28,6 +29,11 @@ class Selector {
     double heartbeat_timeout_secs = 5.0;
     /// Heartbeat period clients are expected to honor.
     double heartbeat_period_secs = 1.0;
+    /// Selection strategy; `kRandom` reproduces the legacy uniform draw
+    /// bitwise. Scored / cluster-scan weight the cohort by the per-tier
+    /// telemetry fed back through `report_done` and heartbeat failures.
+    SelectorPolicy policy = SelectorPolicy::kRandom;
+    SelectionStrategy::Config selection;
   };
 
   struct Cohort {
@@ -35,17 +41,29 @@ class Selector {
     std::uint32_t goal = 0;            ///< updates the round actually needs
   };
 
-  Selector(sim::Simulator& sim, Config cfg) : sim_(sim), cfg_(cfg) {}
+  /// Throws `std::invalid_argument` on a nonsensical config (negative
+  /// overprovision, non-positive heartbeat period, timeout shorter than
+  /// the period).
+  Selector(sim::Simulator& sim, Config cfg);
 
   /// Draw a cohort for a round with aggregation goal `goal`: goal x
   /// (1 + overprovision) distinct clients (bounded by the population).
+  /// Random policy uses the caller's `rng` (Floyd's k-subset, bitwise
+  /// compatible with the pre-strategy selector); scored policies draw
+  /// deterministically from the strategy's stateless hash family and
+  /// advance an internal round counter.
   Cohort select(const wl::ClientPopulation& population, std::uint32_t goal,
-                sim::Rng& rng) const;
+                sim::Rng& rng);
 
   // ---------------------------------------------------------- heartbeats
   /// Start tracking a selected client. `on_failure` fires (once) if its
   /// heartbeats lapse before `report_done` is called.
   void track(fl::ParticipantId client, std::function<void()> on_failure);
+
+  /// Tier-aware overload: completion / failure feeds the selection
+  /// strategy's per-tier telemetry.
+  void track(fl::ParticipantId client, wl::DeviceTier tier,
+             std::function<void()> on_failure);
 
   /// Record a heartbeat from a tracked client.
   void heartbeat(fl::ParticipantId client);
@@ -60,17 +78,31 @@ class Selector {
 
   const Config& config() const noexcept { return cfg_; }
 
+  /// The live strategy (never null); exposes the learned per-tier scores.
+  SelectionStrategy& strategy() noexcept { return *strategy_; }
+
  private:
   struct Tracked {
     double last_heartbeat = 0.0;
+    double started = 0.0;  ///< selection time, for duration telemetry
+    wl::DeviceTier tier = DeviceTier_None();
+    bool has_tier = false;
     std::function<void()> on_failure;
     std::shared_ptr<bool> alive;
   };
 
+  static constexpr wl::DeviceTier DeviceTier_None() noexcept {
+    return wl::DeviceTier::kMidRange;
+  }
+
   void arm_check(fl::ParticipantId client, std::shared_ptr<bool> alive);
+  void track_impl(fl::ParticipantId client, wl::DeviceTier tier,
+                  bool has_tier, std::function<void()> on_failure);
 
   sim::Simulator& sim_;
   Config cfg_;
+  std::unique_ptr<SelectionStrategy> strategy_;
+  std::uint64_t round_ = 0;  ///< rounds drawn so far (scored policies)
   std::unordered_map<fl::ParticipantId, Tracked> tracked_;
   std::uint32_t failures_ = 0;
 };

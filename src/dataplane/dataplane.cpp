@@ -419,6 +419,24 @@ void DataPlane::client_upload(sim::NodeId dst_node, fl::ModelUpdate update,
   });
 }
 
+void DataPlane::client_upload_chunk(sim::NodeId dst_node, std::uint64_t flow,
+                                    std::size_t bytes,
+                                    double uplink_bytes_per_sec,
+                                    sim::Task on_acked) {
+  sim::Node& dnode = cluster_.node(dst_node);
+  std::vector<CostStep> steps;
+  // Wire time from the client to the cluster ingress (pure latency, as in
+  // `client_upload`).
+  CostStep wire;
+  wire.where = StepResource::kLatency;
+  wire.node = dst_node;
+  wire.seconds = static_cast<double>(bytes) / uplink_bytes_per_sec;
+  steps.push_back(wire);
+  auto ingest = ingest_steps(dnode, bytes, flow);
+  steps.insert(steps.end(), ingest.begin(), ingest.end());
+  runner_.run(std::move(steps), std::move(on_acked));
+}
+
 void DataPlane::consume(sim::NodeId node, const fl::ModelUpdate& update,
                         sim::Task ready) {
   if (!cfg_.use_broker) {

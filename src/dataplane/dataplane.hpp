@@ -98,6 +98,16 @@ class DataPlane {
                      double uplink_bytes_per_sec,
                      sim::Task on_enqueued = {});
 
+  /// One chunk of a resumable client upload: client-wire latency plus the
+  /// gateway ingest cost for `bytes`, steered to the RSS queue of `flow`
+  /// like the full-stream path. `on_acked` fires when the gateway has
+  /// processed (acked) the chunk. No update is deposited — the session
+  /// layer assembles acked chunks and deposits the completed update once
+  /// (`seed_update`), so samples are never double-counted.
+  void client_upload_chunk(sim::NodeId dst_node, std::uint64_t flow,
+                           std::size_t bytes, double uplink_bytes_per_sec,
+                           sim::Task on_acked);
+
   /// Deposit an update directly into `node`'s pool as if it had already
   /// been ingested (in-place queued in shm on the LIFL plane), at zero
   /// cost. Used by microbenchmarks that start from a known queue state

@@ -119,7 +119,22 @@ void require_quiescent(const detail::CampaignState& st) {
       throw std::logic_error(
           "CampaignCheckpoint: gateway busy at the boundary");
     }
+    if (!g.live_sessions.empty() || !g.parked.empty()) {
+      throw std::logic_error(
+          "CampaignCheckpoint: live client upload sessions at the boundary");
+    }
   }
+}
+
+void save_tier_counts(
+    sim::Serializer& s,
+    const std::array<std::uint64_t, wl::kTierCount>& counts) {
+  for (std::uint64_t c : counts) s.u64(c);
+}
+
+void load_tier_counts(sim::Deserializer& d,
+                      std::array<std::uint64_t, wl::kTierCount>& counts) {
+  for (std::uint64_t& c : counts) c = d.u64();
 }
 
 }  // namespace
@@ -176,6 +191,30 @@ std::uint64_t CampaignCheckpoint::config_digest(
   d.mix(cfg.checkpoint_every_secs);
   d.mix(cfg.checkpoint_cost.storage_bytes_per_sec);
   d.mix(cfg.checkpoint_cost.marshal_cycles_per_byte);
+  // v4: tier mix, client-lifecycle plan, selector policy and auto-quota all
+  // shape selection draws and session event times.
+  d.mix(cfg.device_tiers.flagship);
+  d.mix(cfg.device_tiers.mid);
+  d.mix(cfg.device_tiers.iot);
+  d.mix(cfg.lifecycle.seed);
+  d.mix(cfg.lifecycle.disconnect_rate);
+  d.mix(static_cast<std::uint64_t>(cfg.lifecycle.chunk_bytes));
+  d.mix(static_cast<std::uint64_t>(cfg.lifecycle.offline_queue_cap));
+  d.mix(cfg.lifecycle.offline_base_secs);
+  d.mix(cfg.lifecycle.offline_cap_secs);
+  d.mix(cfg.lifecycle.offline_jitter);
+  d.mix(static_cast<std::uint64_t>(cfg.lifecycle.session_gates));
+  d.mix(cfg.lifecycle.connect_period_secs);
+  d.mix(cfg.lifecycle.charge_period_secs);
+  d.mix(static_cast<std::uint64_t>(cfg.selector));
+  d.mix(cfg.selection.seed);
+  d.mix(cfg.selection.alpha);
+  d.mix(cfg.selection.score_gamma);
+  d.mix(cfg.selection.exclude_below);
+  d.mix(cfg.selection.scan_weight);
+  d.mix(cfg.selection.straggler_factor);
+  d.mix(static_cast<std::uint64_t>(cfg.async_auto_quota));
+  d.mix(static_cast<std::uint64_t>(cfg.async_min_quota));
   return d.h;
 }
 
@@ -218,6 +257,11 @@ std::vector<std::uint8_t> CampaignCheckpoint::encode_boundary(
   s.u64(st.top_crashes);
   s.f64(st.top_recovery_secs);
   s.u64(st.ckpt_marks);
+  // v4: the auto-quota controller (async mode; inert zeros otherwise).
+  s.u64(st.async_quota);
+  s.f64(st.quota_ratio);
+  s.boolean(st.quota_ratio_init);
+  s.u64(st.quota_adjustments);
   s.end_section();
 
   s.begin_section(kSecShards);
@@ -238,6 +282,31 @@ std::vector<std::uint8_t> CampaignCheckpoint::encode_boundary(
     s.u64(g.upload_corruptions);
     s.u64(g.overflow_rejects);
     s.u64(g.outage_rejects);
+
+    // v4: edge-client lifecycle + selection telemetry.
+    s.u64(g.lifecycle.sessions);
+    s.u64(g.lifecycle.completed);
+    s.u64(g.lifecycle.disconnects);
+    s.u64(g.lifecycle.resumes);
+    s.u64(g.lifecycle.chunks_sent);
+    s.u64(g.lifecycle.chunks_resent);
+    s.u64(g.selection_redraws);
+    s.u32(g.offline_peak);
+    s.f64(g.gate_wait_secs);
+    save_tier_counts(s, g.tier_selected);
+    save_tier_counts(s, g.tier_completed);
+    save_tier_counts(s, g.tier_disconnects);
+    save_tier_counts(s, g.tier_stragglers);
+    // The strategy's learned per-tier scores (zeros for the legacy random
+    // oracle, which carries no state).
+    const ctrl::SelectionStrategy::State sel =
+        g.strategy ? g.strategy->state() : ctrl::SelectionStrategy::State{};
+    for (const ctrl::TierScore& ts : sel.scores) {
+      s.f64(ts.dur);
+      s.boolean(ts.dur_init);
+      s.f64(ts.succ);
+      s.boolean(ts.succ_init);
+    }
 
     dp::DataPlane::NodeEnv& env = g.plane->env(0);
     s.u64(env.pool.max_depth());
@@ -389,6 +458,10 @@ CheckpointCut CampaignCheckpoint::restore(
   st.top_crashes = d.u64();
   st.top_recovery_secs = d.f64();
   st.ckpt_marks = d.u64();
+  st.async_quota = d.u64();
+  st.quota_ratio = d.f64();
+  st.quota_ratio_init = d.boolean();
+  st.quota_adjustments = d.u64();
   d.end_section();
 
   d.expect_section(kSecShards);
@@ -409,6 +482,28 @@ CheckpointCut CampaignCheckpoint::restore(
     g.upload_corruptions = d.u64();
     g.overflow_rejects = d.u64();
     g.outage_rejects = d.u64();
+
+    g.lifecycle.sessions = d.u64();
+    g.lifecycle.completed = d.u64();
+    g.lifecycle.disconnects = d.u64();
+    g.lifecycle.resumes = d.u64();
+    g.lifecycle.chunks_sent = d.u64();
+    g.lifecycle.chunks_resent = d.u64();
+    g.selection_redraws = d.u64();
+    g.offline_peak = d.u32();
+    g.gate_wait_secs = d.f64();
+    load_tier_counts(d, g.tier_selected);
+    load_tier_counts(d, g.tier_completed);
+    load_tier_counts(d, g.tier_disconnects);
+    load_tier_counts(d, g.tier_stragglers);
+    ctrl::SelectionStrategy::State sel;
+    for (ctrl::TierScore& ts : sel.scores) {
+      ts.dur = d.f64();
+      ts.dur_init = d.boolean();
+      ts.succ = d.f64();
+      ts.succ_init = d.boolean();
+    }
+    if (g.strategy) g.strategy->restore(sel);
 
     dp::DataPlane::NodeEnv& env = g.plane->env(0);
     const std::uint64_t max_depth = d.u64();

@@ -57,7 +57,12 @@ class CampaignCheckpoint {
   /// crash/retry/quorum counters in the result section, per-group client
   /// upload fault counters in the group section, and the fault-plan +
   /// quorum config fields folded into the digest.
-  static constexpr std::uint32_t kVersion = 3;
+  /// v4: edge-client lifecycle — per-group resumable-upload counters,
+  /// per-tier participation arrays and selection-strategy score state in
+  /// the group section; the auto-quota EWMA in the result section; and the
+  /// tier-mix, lifecycle, selector and auto-quota config fields folded
+  /// into the digest.
+  static constexpr std::uint32_t kVersion = 4;
 
   /// Digest of every config field that shapes the simulation (not the
   /// paths/sinks). A blob only restores under the digest it was cut from.

@@ -1,12 +1,16 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/control/campaign_planner.hpp"
+#include "src/control/selection.hpp"
 #include "src/dataplane/dataplane.hpp"
+#include "src/dataplane/resumable_upload.hpp"
 #include "src/fl/aggregator_runtime.hpp"
 #include "src/fl/checkpoint.hpp"
 #include "src/sim/node.hpp"
@@ -55,6 +59,31 @@ struct Group {
   std::uint64_t upload_corruptions = 0;
   std::uint64_t overflow_rejects = 0;
   std::uint64_t outage_rejects = 0;
+
+  // ---- edge-client lifecycle + selection (cumulative; checkpointed) ----
+  /// Selection strategy for this group's arrival chain. Null when the
+  /// campaign runs the legacy random oracle over an untiered population
+  /// (that path stays allocation-free and bitwise unchanged).
+  std::unique_ptr<ctrl::SelectionStrategy> strategy;
+  /// Resumable-upload session telemetry (chunk counts, disconnects).
+  dp::ResumableUpload::Counters lifecycle;
+  std::uint64_t selection_redraws = 0;  ///< picks refused, redrawn
+  std::uint32_t offline_peak = 0;       ///< max parked sessions, any client
+  double gate_wait_secs = 0.0;          ///< duty-cycle gate delay total
+  /// Per-tier participation counters (index = wl::DeviceTier).
+  std::array<std::uint64_t, wl::kTierCount> tier_selected{};
+  std::array<std::uint64_t, wl::kTierCount> tier_completed{};
+  std::array<std::uint64_t, wl::kTierCount> tier_disconnects{};
+  std::array<std::uint64_t, wl::kTierCount> tier_stragglers{};
+  /// Per-tier straggler probability (precomputed at setup from
+  /// straggler_fraction and the tier mix; empty-handed in legacy mode).
+  std::array<double, wl::kTierCount> straggler_p{};
+  /// Live upload sessions per population index (bounds the per-client
+  /// offline queue at pick time) and currently parked (offline) sessions
+  /// per index. Transient event-driven state: empty at every quiescent
+  /// round boundary, so never serialized.
+  std::unordered_map<std::uint64_t, std::uint32_t> live_sessions;
+  std::unordered_map<std::uint64_t, std::uint32_t> parked;
 };
 
 /// Whole-campaign runtime state, owned by `run_sharded_campaign` for the
@@ -68,6 +97,9 @@ struct CampaignState {
   fl::AggregatorRuntime* top = nullptr;  ///< current round's top (group 0)
   /// The deterministic fault schedule (cfg->fault); disabled = fault-free.
   sim::FaultPlan faults;
+  /// The deterministic client-lifecycle schedule (cfg->lifecycle with the
+  /// campaign seed mixed in); disabled = reliable always-on clients.
+  wl::LifecyclePlan lifecycle;
   /// The top's current folded-update goal this round: starts at
   /// uploads_per_round() and shrinks as groups report quorum shortfalls;
   /// a crashed top's replacement re-arms at this goal.
@@ -93,6 +125,13 @@ struct CampaignState {
   std::uint64_t async_folded = 0;  ///< cumulative folded updates
   std::uint32_t async_version = 1; ///< current global model version
   double version_started_at = 0.0;
+  /// Auto-quota (cfg->async_auto_quota): EWMA of each version's
+  /// effective/raw weight ratio, and quota changes applied so far. Written
+  /// on group 0's shard at version boundaries; checkpointed (the EWMA is a
+  /// float recurrence, so replay cannot recover it bit-exactly).
+  double quota_ratio = 1.0;
+  bool quota_ratio_init = false;
+  std::uint64_t quota_adjustments = 0;
   /// Per-version telemetry sink (the result being built): the recurring
   /// top's on_result appends directly from group 0's shard.
   ShardedCampaignResult* out = nullptr;

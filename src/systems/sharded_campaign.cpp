@@ -12,6 +12,7 @@
 #include "src/control/campaign_planner.hpp"
 #include "src/dataplane/config.hpp"
 #include "src/dataplane/dataplane.hpp"
+#include "src/dataplane/resumable_upload.hpp"
 #include "src/sim/node.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/sharded_simulator.hpp"
@@ -90,14 +91,17 @@ struct TopShrink {
 /// (group, seq, attempt), so the schedule is shard-invariant and replays
 /// bitwise from a checkpoint.
 void attempt_upload(CampaignState* st, Group* g, fl::ModelUpdate u,
-                    double uplink, std::uint64_t seq, std::uint32_t attempt) {
+                    double uplink, std::uint64_t seq, std::uint32_t attempt,
+                    sim::Task done = {}) {
   const sim::FaultPlan& fp = st->faults;
   const auto retry = [&](fl::ModelUpdate again) {
     ++g->upload_retries;
     const double d = fp.backoff_secs(g->id, seq, attempt);
     g->sim->schedule_after(
-        d, [st, g, again = std::move(again), uplink, seq, attempt]() mutable {
-          attempt_upload(st, g, std::move(again), uplink, seq, attempt + 1);
+        d, [st, g, again = std::move(again), uplink, seq, attempt,
+            done = std::move(done)]() mutable {
+          attempt_upload(st, g, std::move(again), uplink, seq, attempt + 1,
+                         std::move(done));
         });
   };
   double ob = 0.0, oe = 0.0;
@@ -128,7 +132,95 @@ void attempt_upload(CampaignState* st, Group* g, fl::ModelUpdate u,
     g->plane->client_upload(0, std::move(bad), uplink);
     return;
   }
-  g->plane->client_upload(0, std::move(u), uplink);
+  g->plane->client_upload(0, std::move(u), uplink, std::move(done));
+}
+
+/// Pick the arrival's client through the group's selection strategy,
+/// refusing clients whose offline queue (live upload sessions) is at the
+/// lifecycle cap: refused picks re-draw deterministically (hashed probes,
+/// then a linear scan), so the choice is a pure function of group-local
+/// state and stays shard-invariant.
+std::size_t pick_client(CampaignState* st, Group* g, std::uint64_t seq) {
+  const bool lc = st->lifecycle.enabled();
+  const std::uint32_t cap =
+      static_cast<std::uint32_t>(st->cfg->lifecycle.offline_queue_cap);
+  const auto has_room = [&](std::size_t i) {
+    auto it = g->live_sessions.find(i);
+    return it == g->live_sessions.end() || it->second < cap;
+  };
+  std::size_t idx = 0;
+  for (std::uint64_t probe = 0; probe < 64; ++probe) {
+    idx = g->strategy->pick(g->population, g->round, seq, probe);
+    if (!lc || has_room(idx)) return idx;
+    ++g->selection_redraws;
+  }
+  for (std::size_t off = 1; off <= g->population.size(); ++off) {
+    const std::size_t j = (idx + off) % g->population.size();
+    if (has_room(j)) {
+      ++g->selection_redraws;
+      return j;
+    }
+  }
+  throw std::runtime_error(
+      "sharded campaign: every client's offline queue is at capacity");
+}
+
+/// Launch one lifecycle-governed upload: optional duty-cycle gate wait and
+/// straggler delay, then a chunk-wise `dp::ResumableUpload` session whose
+/// completion feeds the per-tier telemetry (and the selection strategy)
+/// and releases the client's offline-queue slot.
+void launch_session(CampaignState* st, Group* g, fl::ModelUpdate u,
+                    const wl::ClientProfile& profile, std::size_t idx,
+                    std::uint64_t seq, bool straggler) {
+  const ShardedCampaignConfig& cfg = *st->cfg;
+  const auto ti = static_cast<std::size_t>(profile.tier);
+  const double selected_at = g->sim->now();
+  ++g->live_sessions[idx];
+
+  dp::ResumableUpload::Config rc;
+  rc.node = 0;
+  rc.uplink_bytes_per_sec = profile.uplink_bytes_per_sec;
+  rc.plan = &st->lifecycle;
+  rc.group = g->id;
+  rc.seq = seq;
+  rc.rate_scale = wl::tier_traits(profile.tier).disconnect_scale;
+  rc.counters = &g->lifecycle;
+  rc.on_complete = [g, idx, ti, selected_at](double, std::uint32_t) {
+    ++g->tier_completed[ti];
+    if (g->strategy) {
+      g->strategy->report(static_cast<wl::DeviceTier>(ti),
+                          g->sim->now() - selected_at, /*success=*/true);
+    }
+    auto it = g->live_sessions.find(idx);
+    if (it != g->live_sessions.end() && --it->second == 0) {
+      g->live_sessions.erase(it);
+    }
+  };
+  rc.on_disconnect = [g, idx, ti]() {
+    ++g->tier_disconnects[ti];
+    const std::uint32_t parked = ++g->parked[idx];
+    g->offline_peak = std::max(g->offline_peak, parked);
+  };
+  rc.on_resume = [g, idx]() {
+    auto it = g->parked.find(idx);
+    if (it != g->parked.end() && --it->second == 0) g->parked.erase(it);
+  };
+
+  double delay = 0.0;
+  if (cfg.lifecycle.session_gates) {
+    delay = st->lifecycle.gate_delay(g->id, idx, profile.tier, selected_at);
+    g->gate_wait_secs += delay;
+  }
+  if (straggler) delay += cfg.straggler_delay_secs;
+  if (delay > 0.0) {
+    dp::DataPlane* plane = g->plane.get();
+    g->sim->schedule_after(
+        delay, [plane, u = std::move(u), rc = std::move(rc)]() mutable {
+          dp::ResumableUpload::launch(*plane, std::move(u), std::move(rc));
+        });
+  } else {
+    dp::ResumableUpload::launch(*g->plane, std::move(u), std::move(rc));
+  }
 }
 
 /// One open-loop arrival: upload a lazily derived client's update into the
@@ -147,8 +239,10 @@ struct ArrivalFn {
   void operator()() const {
     const ShardedCampaignConfig& cfg = *st->cfg;
     const std::uint64_t seq = g->participant_counter++;
-    const std::size_t idx = static_cast<std::size_t>(
-        (seq * 2654435761ull) % g->population.size());
+    const std::size_t idx =
+        g->strategy ? pick_client(st, g, seq)
+                    : static_cast<std::size_t>((seq * 2654435761ull) %
+                                               g->population.size());
     const wl::ClientProfile profile = g->population[idx];
     fl::ModelUpdate u;
     u.model_version = cfg.hierarchy == HierarchyMode::kAsync
@@ -157,12 +251,58 @@ struct ArrivalFn {
     u.producer = profile.id;
     u.sample_count = profile.samples;
     u.logical_bytes = cfg.model_bytes;
+    // Straggler draw: the legacy hash, with the fraction swapped for the
+    // tier's precomputed probability in tiered mode (IoT absorbs the
+    // straggler mass first, spilling upward — the expected fraction under
+    // random selection stays exactly `straggler_fraction`).
+    double sfrac = cfg.straggler_fraction;
+    const auto ti = static_cast<std::size_t>(profile.tier);
+    if (g->population.tiered()) {
+      if (sfrac > 0.0) sfrac = g->straggler_p[ti];
+      ++g->tier_selected[ti];
+    }
     const bool straggler =
-        cfg.straggler_fraction > 0.0 &&
+        sfrac > 0.0 &&
         static_cast<double>((seq * 0x9e3779b97f4a7c15ull) >> 40) <
-            cfg.straggler_fraction * 16777216.0;
+            sfrac * 16777216.0;
+    if (straggler && g->population.tiered()) ++g->tier_stragglers[ti];
     const bool faulty = st->faults.enabled();
-    if (straggler) {
+    if (st->lifecycle.enabled()) {
+      // Flaky-client path: chunked resumable session (wire-level upload
+      // faults are excluded by validation; crash faults compose).
+      launch_session(st, g, std::move(u), profile, idx, seq, straggler);
+    } else if (g->strategy) {
+      // Strategy feedback probe, armed at arrival time so the observed
+      // duration includes straggler delay — that is exactly the signal
+      // scored selection learns the slow tiers from.
+      Group* gp = g;
+      const double t0 = g->sim->now();
+      sim::Task done = [gp, ti, t0]() {
+        ++gp->tier_completed[ti];
+        gp->strategy->report(static_cast<wl::DeviceTier>(ti),
+                             gp->sim->now() - t0, /*success=*/true);
+      };
+      const double uplink = profile.uplink_bytes_per_sec;
+      if (straggler) {
+        CampaignState* stp = st;
+        g->sim->schedule_after(
+            cfg.straggler_delay_secs,
+            [stp, gp, u = std::move(u), uplink, seq, faulty,
+             done = std::move(done)]() mutable {
+              if (faulty) {
+                attempt_upload(stp, gp, std::move(u), uplink, seq, 0,
+                               std::move(done));
+              } else {
+                gp->plane->client_upload(0, std::move(u), uplink,
+                                         std::move(done));
+              }
+            });
+      } else if (faulty) {
+        attempt_upload(st, g, std::move(u), uplink, seq, 0, std::move(done));
+      } else {
+        g->plane->client_upload(0, std::move(u), uplink, std::move(done));
+      }
+    } else if (straggler) {
       dp::DataPlane* plane = g->plane.get();
       const double uplink = profile.uplink_bytes_per_sec;
       if (faulty) {
@@ -217,6 +357,33 @@ void on_version(CampaignState& st, fl::ModelUpdate u) {
   st.out->round_samples.push_back(u.sample_count);
   st.out->round_weight.push_back(u.weight);
   st.version_started_at = now;
+  if (st.cfg->async_auto_quota) {
+    // FedBuff quota auto-tuning: EWMA of each version's effective/raw
+    // weight ratio (1 = every fold was fresh). A staleness-discounted
+    // stream shrinks the buffer so versions turn over faster (less
+    // staleness next version); a clean stream keeps the full quota.
+    const double raw = static_cast<double>(u.sample_count);
+    const double ratio = raw > 0.0 ? u.weight / raw : 1.0;
+    const double a = st.cfg->ewma_alpha;
+    if (!st.quota_ratio_init) {
+      st.quota_ratio = ratio;
+      st.quota_ratio_init = true;
+    } else {
+      st.quota_ratio = a * st.quota_ratio + (1.0 - a) * ratio;
+    }
+    const auto base =
+        static_cast<std::uint64_t>(st.cfg->uploads_per_round());
+    const std::uint64_t lo = st.cfg->async_min_quota > 0
+                                 ? st.cfg->async_min_quota
+                                 : std::max<std::uint64_t>(1, base / 4);
+    const auto tuned = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(base) * st.quota_ratio));
+    const std::uint64_t next = std::clamp(tuned, lo, base);
+    if (next != st.async_quota) {
+      st.async_quota = next;
+      ++st.quota_adjustments;
+    }
+  }
   if (st.async_folded >= st.async_total) {
     st.round_done = true;  // every update of the stream has been folded
     st.completed_at = now;
@@ -462,6 +629,96 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     }
   }
 
+  // ---- edge-realistic clients: tier mix, lifecycle, selection ----------
+  const bool tiered = cfg.device_tiers.enabled();
+  if (tiered) {
+    const auto share_ok = [](double s) {
+      return std::isfinite(s) && s >= 0.0;
+    };
+    if (!share_ok(cfg.device_tiers.flagship) ||
+        !share_ok(cfg.device_tiers.mid) || !share_ok(cfg.device_tiers.iot)) {
+      throw std::invalid_argument(
+          "sharded campaign: device tier shares must be finite and >= 0");
+    }
+    const double sum = cfg.device_tiers.flagship + cfg.device_tiers.mid +
+                       cfg.device_tiers.iot;
+    if (std::abs(sum - 1.0) > 1e-6) {
+      throw std::invalid_argument(
+          "sharded campaign: device tier shares must sum to 1 (or all be 0 "
+          "for the untiered legacy population)");
+    }
+  }
+  const bool lc_on = cfg.lifecycle.enabled();
+  if (lc_on) {
+    const auto& l = cfg.lifecycle;
+    if (!std::isfinite(l.disconnect_rate) || l.disconnect_rate < 0.0 ||
+        l.disconnect_rate >= 1.0) {
+      throw std::invalid_argument(
+          "sharded campaign: lifecycle disconnect_rate must be in [0, 1) — "
+          "at 1 every attempt drops and no session can ever finish");
+    }
+    if (l.chunk_bytes == 0 || l.offline_queue_cap == 0) {
+      throw std::invalid_argument(
+          "sharded campaign: lifecycle chunk_bytes and offline_queue_cap "
+          "must be >= 1");
+    }
+    const auto secs_ok = [](double s) {
+      return std::isfinite(s) && s >= 0.0;
+    };
+    if (!secs_ok(l.offline_base_secs) || !secs_ok(l.offline_cap_secs) ||
+        !secs_ok(l.offline_jitter)) {
+      throw std::invalid_argument(
+          "sharded campaign: lifecycle offline backoff fields must be "
+          "finite and >= 0");
+    }
+    if (l.session_gates &&
+        (!std::isfinite(l.connect_period_secs) ||
+         l.connect_period_secs <= 0.0 ||
+         !std::isfinite(l.charge_period_secs) ||
+         l.charge_period_secs <= 0.0)) {
+      throw std::invalid_argument(
+          "sharded campaign: lifecycle session gates need positive finite "
+          "connect/charge periods");
+    }
+    if (cfg.fault.upload_drop_rate > 0.0 ||
+        cfg.fault.upload_corrupt_rate > 0.0 || cfg.fault.outage_rate > 0.0 ||
+        cfg.fault.gateway_overflow_depth > 0) {
+      throw std::invalid_argument(
+          "sharded campaign: the client lifecycle supersedes wire-level "
+          "upload faults (drop/corruption/outage/overflow) — the chunked "
+          "session layer owns the client connection; crash faults compose");
+    }
+  }
+  if (cfg.selector != ctrl::SelectorPolicy::kRandom && !tiered) {
+    throw std::invalid_argument(
+        "sharded campaign: scored/cluster-scan selection learns per-tier "
+        "telemetry — it requires a tiered device population");
+  }
+  if (tiered || lc_on || cfg.selector != ctrl::SelectorPolicy::kRandom) {
+    const auto& s = cfg.selection;
+    if (!std::isfinite(s.alpha) || s.alpha < 0.0 || s.alpha > 1.0 ||
+        !std::isfinite(s.score_gamma) || s.score_gamma < 0.0 ||
+        !std::isfinite(s.exclude_below) || s.exclude_below < 0.0 ||
+        s.exclude_below >= 1.0 || !std::isfinite(s.scan_weight) ||
+        s.scan_weight < 0.0 || !std::isfinite(s.straggler_factor) ||
+        s.straggler_factor <= 1.0) {
+      throw std::invalid_argument(
+          "sharded campaign: selection config out of range (alpha in "
+          "[0, 1], score_gamma >= 0, exclude_below in [0, 1), scan_weight "
+          ">= 0, straggler_factor > 1)");
+    }
+  }
+  if (cfg.async_auto_quota && !async) {
+    throw std::invalid_argument(
+        "sharded campaign: async_auto_quota tunes the FedBuff version "
+        "quota — it requires async mode");
+  }
+  if (cfg.async_min_quota >
+      static_cast<std::uint64_t>(cfg.uploads_per_round())) {
+    throw std::invalid_argument(
+        "sharded campaign: async_min_quota exceeds uploads_per_round()");
+  }
+
   sim::ShardedSimulator::Config scfg;
   scfg.shards = cfg.shards;
   scfg.lookahead = calib::kCrossShardLatencySecs;
@@ -471,6 +728,13 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
   st.cfg = &cfg;
   st.sharded = &sharded;
   st.faults = sim::FaultPlan(cfg.fault);
+  {
+    // Mix the campaign seed into the lifecycle/selection draw seeds so two
+    // campaigns differing only in `seed` get different session schedules.
+    wl::LifecyclePlan::Config lcfg = cfg.lifecycle;
+    lcfg.seed ^= cfg.seed * 0x9E3779B97F4A7C15ull;
+    st.lifecycle = wl::LifecyclePlan(lcfg);
+  }
   st.groups.resize(cfg.groups);
 
   const std::size_t pop_per_group = std::max<std::size_t>(
@@ -504,9 +768,38 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     g.plane = std::make_unique<dp::DataPlane>(
         *g.cluster, pcfg, sim::Rng(cfg.seed * 1000003 + gi));
     g.rng = sim::Rng(cfg.seed ^ (0x9e3779b97f4a7c15ull * (gi + 1)));
-    g.population = wl::ClientPopulation::synthetic(
-        pop_per_group, /*mobile=*/true, g.rng,
-        /*first_id=*/1'000'000 + gi * pop_per_group);
+    g.population =
+        tiered ? wl::ClientPopulation::tiered(
+                     pop_per_group, cfg.device_tiers, g.rng,
+                     /*first_id=*/1'000'000 + gi * pop_per_group)
+               : wl::ClientPopulation::synthetic(
+                     pop_per_group, /*mobile=*/true, g.rng,
+                     /*first_id=*/1'000'000 + gi * pop_per_group);
+    if (tiered || lc_on || cfg.selector != ctrl::SelectorPolicy::kRandom) {
+      ctrl::SelectionStrategy::Config selcfg = cfg.selection;
+      selcfg.seed ^= cfg.seed * 0xBF58476D1CE4E5B9ull;
+      g.strategy = ctrl::make_selection_strategy(cfg.selector, selcfg, gi);
+    }
+    if (tiered && cfg.straggler_fraction > 0.0) {
+      // Per-tier straggler probabilities: the straggler mass lands on the
+      // IoT tier first and spills upward (mid-range, then flagship), so
+      // "30% stragglers" is literally 30% of uniform-random picks — but a
+      // tier-aware selector can avoid nearly all of them.
+      const double n = static_cast<double>(g.population.size());
+      const auto share = [&](wl::DeviceTier t) {
+        return static_cast<double>(g.population.tier_count(t)) / n;
+      };
+      double spill = cfg.straggler_fraction;
+      const wl::DeviceTier order[] = {wl::DeviceTier::kIoT,
+                                      wl::DeviceTier::kMidRange,
+                                      wl::DeviceTier::kFlagship};
+      for (wl::DeviceTier t : order) {
+        const double s = share(t);
+        const double p = s > 0.0 ? std::min(1.0, spill / s) : 0.0;
+        g.straggler_p[static_cast<std::size_t>(t)] = p;
+        spill = std::max(0.0, spill - s * p);
+      }
+    }
     g.arrivals = std::make_unique<wl::ArrivalProcess>(acfg);
     if (orchestrated) {
       StreamingHierarchy::Config hcfg;
@@ -861,8 +1154,24 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     result.upload_corruptions += g.upload_corruptions;
     result.overflow_rejects += g.overflow_rejects;
     result.outage_rejects += g.outage_rejects;
+    for (std::size_t t = 0; t < wl::kTierCount; ++t) {
+      result.tiers[t].selected += g.tier_selected[t];
+      result.tiers[t].completed += g.tier_completed[t];
+      result.tiers[t].disconnects += g.tier_disconnects[t];
+      result.tiers[t].stragglers += g.tier_stragglers[t];
+    }
+    result.disconnects += g.lifecycle.disconnects;
+    result.resumed_uploads += g.lifecycle.resumes;
+    result.chunks_sent += g.lifecycle.chunks_sent;
+    result.chunks_resent += g.lifecycle.chunks_resent;
+    result.selection_redraws += g.selection_redraws;
+    result.offline_queue_peak =
+        std::max<std::uint64_t>(result.offline_queue_peak, g.offline_peak);
+    result.gate_wait_secs += g.gate_wait_secs;
     sim_end = std::max(sim_end, g.sim->now());
   }
+  result.quota_adjustments = st.quota_adjustments;
+  result.async_quota_final = st.async_quota;
   result.top_crashes = st.top_crashes;
   result.recovery_secs += st.top_recovery_secs;
   result.faults_injected = result.leaf_crashes + result.middle_crashes +

@@ -1,15 +1,19 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "src/control/selection.hpp"
 #include "src/fl/aggregator_runtime.hpp"
 #include "src/fl/checkpoint.hpp"
 #include "src/sim/calibration.hpp"
 #include "src/sim/fault_plan.hpp"
 #include "src/sim/time.hpp"
+#include "src/workload/device_tier.hpp"
+#include "src/workload/lifecycle.hpp"
 
 namespace lifl::sys {
 
@@ -117,6 +121,35 @@ struct ShardedCampaignConfig {
   /// arrival EWMA (expected buffer fill time with 2x slack) instead of the
   /// fixed `async_deadline_secs`, which becomes the upper clamp.
   bool async_adaptive_deadline = false;
+  /// Async mode: auto-tune the per-version fold quota from the staleness
+  /// telemetry. Each emitted version updates an EWMA of its effective/raw
+  /// weight ratio (1 = no staleness discount); the next version's quota is
+  /// `uploads_per_round() * ratio`, clamped to
+  /// [`async_min_quota`, `uploads_per_round()`] — heavy staleness shrinks
+  /// the buffer (fresher versions), clean streams keep the full quota.
+  bool async_auto_quota = false;
+  /// Lower clamp for the auto-tuned quota (0 = uploads_per_round() / 4).
+  std::uint64_t async_min_quota = 0;
+
+  // ---- edge-realistic clients (device tiers + flaky lifecycle) ---------
+  /// Tiered device population (flagship / mid-range / IoT compute+uplink
+  /// classes). All-zero (the default) keeps the legacy synthetic mobile
+  /// population bitwise; when enabled the shares must sum to ~1 and each
+  /// group's population slice is laid out in contiguous tier ranges.
+  wl::TierMix device_tiers;
+  /// Deterministic client-lifecycle schedule (`wl::LifecyclePlan`):
+  /// mid-upload disconnects with bounded per-client offline queues and
+  /// chunk-wise resumable uploads, plus optional connectivity/charging
+  /// session gates. Disabled by default. Works in all three hierarchy
+  /// modes; incompatible with wire-level upload faults (drop / corruption /
+  /// outage / overflow — the chunked session layer supersedes the
+  /// whole-stream retry model).
+  wl::LifecyclePlan::Config lifecycle;
+  /// Client-selection strategy for the arrival chain. `kRandom` keeps the
+  /// legacy hash oracle bitwise; `kScored` / `kClusterScan` require a
+  /// tiered population and learn from per-tier completion telemetry.
+  ctrl::SelectorPolicy selector = ctrl::SelectorPolicy::kRandom;
+  ctrl::SelectionStrategy::Config selection;
 
   // ---- stragglers (both modes; the fig9 sync-vs-async A/B knob) --------
   /// Deterministic fraction of arrivals whose upload is delayed by
@@ -233,6 +266,30 @@ struct ShardedCampaignResult {
   std::uint64_t quorum_abandoned = 0;   ///< uploads abandoned by those seals
   double recovery_secs = 0.0;  ///< replacement spawn time paid (cold starts;
                                ///< warm re-arms recover for free)
+
+  // ---- client lifecycle / selection telemetry --------------------------
+  /// Per-device-tier participation (all zero unless the population is
+  /// tiered). Selected counts arrival-chain picks; completed counts
+  /// delivered updates; disconnects/stragglers attribute session drops and
+  /// straggler delays to the tier that suffered them.
+  struct TierStats {
+    std::uint64_t selected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t disconnects = 0;
+    std::uint64_t stragglers = 0;
+  };
+  std::array<TierStats, wl::kTierCount> tiers{};
+  std::uint64_t disconnects = 0;       ///< mid-upload session drops
+  std::uint64_t resumed_uploads = 0;   ///< reconnect+resume events
+  std::uint64_t chunks_sent = 0;       ///< upload chunks acked end-to-end
+  std::uint64_t chunks_resent = 0;     ///< acked chunks that were re-sends
+  std::uint64_t selection_redraws = 0; ///< picks refused (full offline queue)
+  std::uint64_t offline_queue_peak = 0;  ///< max parked updates, any client
+  double gate_wait_secs = 0.0;  ///< connectivity/charge gate delay total
+  /// Async auto-quota telemetry: quota changes applied, and the quota in
+  /// force when the stream ended (uploads_per_round() when tuning is off).
+  std::uint64_t quota_adjustments = 0;
+  std::uint64_t async_quota_final = 0;
 
   double wall_secs = 0.0;
   double sim_secs = 0.0;          ///< final simulated time (max over groups)

@@ -22,10 +22,43 @@ ClientPopulation ClientPopulation::synthetic(std::size_t count, bool mobile,
   return pop;
 }
 
+ClientPopulation ClientPopulation::tiered(std::size_t count,
+                                          const TierMix& mix, sim::Rng& rng,
+                                          fl::ParticipantId first_id) {
+  ClientPopulation pop = synthetic(count, /*mobile=*/true, rng, first_id);
+  pop.tiered_ = true;
+  // Contiguous tier layout from rounded shares; IoT absorbs the remainder.
+  pop.n_flagship_ = std::min(
+      count, static_cast<std::size_t>(
+                 std::llround(mix.flagship * static_cast<double>(count))));
+  pop.n_mid_ = std::min(
+      count - pop.n_flagship_,
+      static_cast<std::size_t>(
+          std::llround(mix.mid * static_cast<double>(count))));
+  return pop;
+}
+
 ClientProfile ClientPopulation::operator[](std::size_t i) const {
   sim::Rng r = base_.split(i);
   ClientProfile c;
   c.id = first_id_ + i;
+  if (tiered_) {
+    // Tiered profile: distributions come from the device-class trait table.
+    // The draw order (speed, then samples) matches the legacy path, so a
+    // {0,1,0} mix is bitwise-identical to the legacy mobile population.
+    c.tier = tier_of(i);
+    const TierTraits& tt = tier_traits(c.tier);
+    c.speed = std::clamp(r.lognormal(tt.speed_mu, tt.speed_sigma),
+                         tt.speed_lo, tt.speed_hi);
+    c.samples = static_cast<std::uint32_t>(std::clamp(
+        r.lognormal(tt.samples_mu, tt.samples_sigma), tt.samples_lo,
+        tt.samples_hi));
+    // Flagship devices are effectively always-on (no hibernation draw);
+    // mid-range and IoT keep the §6.2 mobile availability behavior.
+    c.mobile = c.tier != DeviceTier::kFlagship;
+    c.uplink_bytes_per_sec = tt.uplink_bytes_per_sec;
+    return c;
+  }
   // Lognormal heterogeneity: most clients near nominal speed, a tail of
   // slow stragglers (sigma larger for mobile devices).
   const double sigma = mobile_ ? 0.45 : 0.2;

@@ -6,6 +6,7 @@
 #include "src/fl/model_update.hpp"
 #include "src/sim/calibration.hpp"
 #include "src/sim/random.hpp"
+#include "src/workload/device_tier.hpp"
 
 namespace lifl::wl {
 
@@ -22,6 +23,9 @@ struct ClientProfile {
   bool mobile = false;
   /// Upload bandwidth to the cluster ingress.
   double uplink_bytes_per_sec = sim::calib::kServerUplinkBytesPerSec;
+  /// Device class (meaningful only for tiered populations; legacy
+  /// synthetic populations report every client as mid-range).
+  DeviceTier tier = DeviceTier::kMidRange;
 };
 
 /// A synthetic client population standing in for FedScale's real clients:
@@ -43,9 +47,53 @@ class ClientPopulation {
                                     sim::Rng& rng,
                                     fl::ParticipantId first_id = 1'000'000);
 
+  /// Describe `count` clients split into flagship / mid-range / IoT device
+  /// classes per `mix` (shares must sum to ~1). Tiers occupy contiguous
+  /// index ranges — flagship first, then mid-range, then IoT — so
+  /// tier-of-index and uniform-within-tier draws are O(1) arithmetic.
+  /// Profiles stay lazy exactly like `synthetic`.
+  static ClientPopulation tiered(std::size_t count, const TierMix& mix,
+                                 sim::Rng& rng,
+                                 fl::ParticipantId first_id = 1'000'000);
+
   /// Client `i`'s profile, computed on demand (deterministic per index).
   ClientProfile operator[](std::size_t i) const;
   std::size_t size() const noexcept { return count_; }
+
+  bool tiered() const noexcept { return tiered_; }
+  /// Device class of index `i`. Untiered populations report every client
+  /// as mid-range (matching the profile's default tier).
+  DeviceTier tier_of(std::size_t i) const noexcept {
+    if (!tiered_) return DeviceTier::kMidRange;
+    if (i < n_flagship_) return DeviceTier::kFlagship;
+    if (i < n_flagship_ + n_mid_) return DeviceTier::kMidRange;
+    return DeviceTier::kIoT;
+  }
+  /// First index of tier `t`'s contiguous range.
+  std::size_t tier_begin(DeviceTier t) const noexcept {
+    if (!tiered_) return 0;
+    switch (t) {
+      case DeviceTier::kFlagship:
+        return 0;
+      case DeviceTier::kMidRange:
+        return n_flagship_;
+      case DeviceTier::kIoT:
+        return n_flagship_ + n_mid_;
+    }
+    return count_;
+  }
+  std::size_t tier_count(DeviceTier t) const noexcept {
+    if (!tiered_) return t == DeviceTier::kMidRange ? count_ : 0;
+    switch (t) {
+      case DeviceTier::kFlagship:
+        return n_flagship_;
+      case DeviceTier::kMidRange:
+        return n_mid_;
+      case DeviceTier::kIoT:
+        return count_ - n_flagship_ - n_mid_;
+    }
+    return 0;
+  }
 
   /// Sample `k` distinct client indices (the selector's diversity draw).
   /// O(k) time and memory (Floyd's algorithm), independent of `size()`.
@@ -61,6 +109,9 @@ class ClientPopulation {
   bool mobile_ = false;
   fl::ParticipantId first_id_ = 0;
   sim::Rng base_{0};  ///< root of the per-client profile streams
+  bool tiered_ = false;
+  std::size_t n_flagship_ = 0;  ///< indices [0, n_flagship_)
+  std::size_t n_mid_ = 0;       ///< indices [n_flagship_, n_flagship_+n_mid_)
 };
 
 /// Arrival-process generator for open-loop campaign traffic: a
