@@ -10,7 +10,10 @@
 // the sweep isolates pure execution scaling: 1 shard is the single-threaded
 // calendar core, K shards run K event loops under time-window barriers.
 //
-// Emits BENCH_shard_scaling.json. CI uploads it as an artifact and the
+// Emits BENCH_shard_scaling.json, including per-shard barrier accounting
+// (windows run, empty windows, idle wall seconds) so a regression in load
+// balance shows up in the artifact even when aggregate throughput holds.
+// CI uploads it as an artifact and the
 // bench fails if 4 shards deliver < 3x the 1-shard events/s — on machines
 // with >= 4 hardware threads; on smaller machines the gate is skipped
 // (physical parallelism cannot be demonstrated without cores) unless
@@ -60,6 +63,11 @@ struct Sample {
   double wall_secs = 0.0;
   std::uint64_t windows = 0;
   std::uint64_t cross_posts = 0;
+  // Per-shard barrier accounting: windows a shard participated in, windows
+  // where it had nothing to run, and wall seconds it sat idle at barriers.
+  std::vector<std::uint64_t> shard_windows;
+  std::vector<std::uint64_t> shard_empty_windows;
+  std::vector<double> shard_idle_secs;
   double events_per_sec() const { return events / wall_secs; }
 };
 
@@ -71,6 +79,9 @@ Sample run_once(std::size_t shards, std::size_t scale) {
   s.wall_secs = r.wall_secs;
   s.windows = r.windows;
   s.cross_posts = r.cross_posts;
+  s.shard_windows = r.shard_windows;
+  s.shard_empty_windows = r.shard_empty_windows;
+  s.shard_idle_secs = r.shard_idle_secs;
   return s;
 }
 
@@ -140,13 +151,23 @@ int main(int argc, char** argv) {
                    "    {\"shards\": %zu, \"events\": %llu, "
                    "\"wall_secs\": %.6f, \"events_per_sec\": %.0f, "
                    "\"speedup\": %.3f, \"windows\": %llu, "
-                   "\"cross_posts\": %llu}%s\n",
+                   "\"cross_posts\": %llu,\n     \"per_shard\": [",
                    s.shards, static_cast<unsigned long long>(s.events),
                    s.wall_secs, s.events_per_sec(),
                    s.events_per_sec() / base,
                    static_cast<unsigned long long>(s.windows),
-                   static_cast<unsigned long long>(s.cross_posts),
-                   i + 1 < samples.size() ? "," : "");
+                   static_cast<unsigned long long>(s.cross_posts));
+      for (std::size_t p = 0; p < s.shard_windows.size(); ++p) {
+        std::fprintf(
+            out,
+            "%s{\"windows\": %llu, \"empty_windows\": %llu, "
+            "\"idle_secs\": %.6f}",
+            p == 0 ? "" : ", ",
+            static_cast<unsigned long long>(s.shard_windows[p]),
+            static_cast<unsigned long long>(s.shard_empty_windows[p]),
+            s.shard_idle_secs[p]);
+      }
+      std::fprintf(out, "]}%s\n", i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);

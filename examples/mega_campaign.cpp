@@ -48,6 +48,13 @@
 // (scored/cluster learn per-tier completion telemetry and steer away from
 // straggler tiers). The summary then adds a per-tier participation table.
 //
+// With `--trace=FILE.json` the run records a sim-time trace (round spans,
+// aggregator lifecycle, upload sessions, barrier windows) into per-shard
+// ring buffers (`--trace-ring-kb=N` caps each ring) and exports Chrome
+// trace-event JSON loadable at https://ui.perfetto.dev; `--metrics=F.jsonl`
+// writes per-round rows plus a registry summary. Recording is passive:
+// results are bitwise identical with and without it.
+//
 // Build & run:  cmake -B build && cmake --build build -j
 //               ./build/examples/mega_campaign            # full 1M clients
 //               ./build/examples/mega_campaign 100000     # quicker slice
@@ -247,6 +254,17 @@ struct EdgeOpts {
   }
 };
 
+/// Observability knobs (sharded path only): Perfetto-loadable trace and
+/// per-round JSONL metrics. Recording is passive — a traced run's results
+/// are bitwise identical to an untraced one.
+struct ObsOpts {
+  std::string trace;          ///< --trace=FILE.json
+  std::string metrics;        ///< --metrics=FILE.jsonl
+  std::size_t ring_kb = 4096; ///< --trace-ring-kb=N per-shard ring cap
+
+  bool any() const { return !trace.empty() || !metrics.empty(); }
+};
+
 /// Fault-injection and graceful-degradation knobs (sharded path only).
 struct FaultOpts {
   bool enabled = false;         ///< --fault-plan=SEED given
@@ -262,7 +280,7 @@ struct FaultOpts {
 int run_sharded(const CampaignConfig& cfg, std::size_t shards,
                 sys::HierarchyMode mode, double replan_interval, bool reuse,
                 const CheckpointOpts& ck, const AsyncOpts& as,
-                const FaultOpts& fo, const EdgeOpts& eo) {
+                const FaultOpts& fo, const EdgeOpts& eo, const ObsOpts& oo) {
   sys::ShardedCampaignConfig scfg;
   scfg.shards = shards;
   scfg.groups = cfg.nodes;
@@ -296,6 +314,9 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
   }
   scfg.device_tiers = eo.tiers;
   scfg.selector = eo.selector;
+  scfg.obs.trace = !oo.trace.empty();
+  scfg.obs.metrics = !oo.metrics.empty();
+  scfg.obs.trace_ring_kb = oo.ring_kb;
   if (eo.disconnect_rate > 0.0) {
     scfg.lifecycle.disconnect_rate = eo.disconnect_rate;
     scfg.lifecycle.offline_base_secs = 0.05;
@@ -433,6 +454,19 @@ int run_sharded(const CampaignConfig& cfg, std::size_t shards,
         ck.checkpoint.empty() ? "" : ", latest at ",
         ck.checkpoint.empty() ? "" : ck.checkpoint.c_str());
   }
+  if (!oo.trace.empty()) {
+    sys::write_campaign_trace(r, oo.trace);
+    std::printf(
+        "trace: %llu events recorded (%llu dropped) -> %s — open in "
+        "https://ui.perfetto.dev\n",
+        static_cast<unsigned long long>(r.obs->trace().recorded_events()),
+        static_cast<unsigned long long>(r.obs->trace().dropped_events()),
+        oo.trace.c_str());
+  }
+  if (!oo.metrics.empty()) {
+    sys::write_campaign_metrics_jsonl(r, oo.metrics);
+    std::printf("metrics: per-round JSONL -> %s\n", oo.metrics.c_str());
+  }
   const long rss = peak_rss_kb();
   if (rss > 0) std::printf("peak RSS: %.1f MB\n", rss / 1024.0);
   return 0;
@@ -451,6 +485,7 @@ int main(int argc, char** argv) {
   AsyncOpts as;
   FaultOpts fo;
   EdgeOpts eo;
+  ObsOpts oo;
   const auto usage = [&argv] {
     std::fprintf(stderr,
                  "usage: %s [population >= 1000] [--shards=K] "
@@ -460,7 +495,8 @@ int main(int argc, char** argv) {
                  "[--stragglers=FRACTION] [--straggler-delay=SECS] "
                  "[--fault-plan=SEED] [--leaf-crash-rate=F] [--quorum=F] "
                  "[--device-tiers=F,M,I] [--disconnect-rate=F] "
-                 "[--selector=random|scored|cluster]\n",
+                 "[--selector=random|scored|cluster] [--trace=FILE.json] "
+                 "[--metrics=FILE.jsonl] [--trace-ring-kb=N]\n",
                  argv[0]);
     return 2;
   };
@@ -596,6 +632,24 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strncmp(argv[a], "--trace=", 8) == 0) {
+      oo.trace = argv[a] + 8;
+      if (oo.trace.empty()) return usage();
+      continue;
+    }
+    if (std::strncmp(argv[a], "--metrics=", 10) == 0) {
+      oo.metrics = argv[a] + 10;
+      if (oo.metrics.empty()) return usage();
+      continue;
+    }
+    if (std::strncmp(argv[a], "--trace-ring-kb=", 16) == 0) {
+      char* end = nullptr;
+      oo.ring_kb = std::strtoul(argv[a] + 16, &end, 10);
+      if (end == argv[a] + 16 || *end != '\0' || oo.ring_kb == 0) {
+        return usage();
+      }
+      continue;
+    }
     if (std::strncmp(argv[a], "--reuse=", 8) == 0) {
       if (std::strcmp(argv[a] + 8, "0") == 0) {
         reuse = false;
@@ -625,7 +679,7 @@ int main(int argc, char** argv) {
       ck.every_secs > 0.0 || !ck.checkpoint.empty() || !ck.resume.empty();
   if (ck_flag && ck.every_secs <= 0.0) ck.every_secs = 20.0;
   if ((hierarchy_flag || ck_flag || as.straggler_fraction > 0.0 ||
-       fo.any() || eo.any()) &&
+       fo.any() || eo.any() || oo.any()) &&
       shards == 0) {
     shards = 1;
   }
@@ -639,7 +693,7 @@ int main(int argc, char** argv) {
     eo.tiers = {0.4, 0.3, 0.3};
   }
   if (shards > 0) return run_sharded(cfg, shards, mode, replan_interval,
-                                     reuse, ck, as, fo, eo);
+                                     reuse, ck, as, fo, eo, oo);
 
   std::printf(
       "Mega campaign: %zu mobile clients, %zu nodes, %zu rounds x %zu "

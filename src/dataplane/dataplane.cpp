@@ -326,11 +326,11 @@ void DataPlane::send(fl::ParticipantId src, sim::NodeId src_node,
   sim::Node& dnode = cluster_.node(dst_node);
   NodeEnv& senv = env(src_node);
 
-  // Event-driven sidecar bookkeeping on send (§4.3).
+  // Event-driven sidecar bookkeeping on send (§4.3) — interned ids, no
+  // string hashing on the per-send path.
   if (cfg_.sidecar == SidecarKind::kEbpf) {
-    senv.metrics.increment(metric_keys::kSends);
-    senv.metrics.increment(metric_keys::kSendBytes,
-                           static_cast<double>(bytes));
+    senv.metrics.add(MetricsMap::kSends);
+    senv.metrics.add(MetricsMap::kSendBytes, static_cast<double>(bytes));
   }
 
   std::vector<CostStep> steps;
@@ -413,7 +413,7 @@ void DataPlane::client_upload(sim::NodeId dst_node, fl::ModelUpdate update,
       ++shm_deliveries_;
     }
     // Arrival-rate metric for the control plane (k_{i,t} of §5.1).
-    e.metrics.increment(metric_keys::kArrivals);
+    e.metrics.add(MetricsMap::kArrivals);
     e.pool.push(std::move(u));
     if (done) done();
   });
@@ -484,14 +484,14 @@ void DataPlane::seed_update(sim::NodeId node, fl::ModelUpdate update) {
     ++shm_deliveries_;
   }
   NodeEnv& e = env(node);
-  e.metrics.increment(metric_keys::kArrivals);
+  e.metrics.add(MetricsMap::kArrivals);
   e.pool.push(std::move(update));
 }
 
 void DataPlane::record_agg_exec(sim::NodeId node, double exec_secs) {
   NodeEnv& e = env(node);
-  e.metrics.increment(metric_keys::kAggExecSum, exec_secs);
-  e.metrics.increment(metric_keys::kAggExecCount);
+  e.metrics.add(MetricsMap::kAggExecSum, exec_secs);
+  e.metrics.add(MetricsMap::kAggExecCount);
   if (cfg_.sidecar == SidecarKind::kEbpf) {
     // The metric write itself is an eBPF event: tiny, billed to the sidecar.
     cluster_.node(node).cpu().add(CostTag::kSidecarEbpf,

@@ -101,6 +101,9 @@ struct Session : std::enable_shared_from_this<Session> {
     // The partial chunk must be re-sent in full after the reconnect.
     resend_pending = true;
     if (cfg.counters != nullptr) ++cfg.counters->disconnects;
+    cfg.obs.instant(sim().now(), obs::Ev::kUploadDisconnect,
+                    static_cast<std::uint32_t>(update.producer), drops);
+    cfg.obs.count_id(&obs::Ids::upload_disconnects);
     if (cfg.on_disconnect) cfg.on_disconnect();
     const double offline =
         cfg.plan->offline_secs(cfg.group, cfg.seq, attempt);
@@ -112,6 +115,9 @@ struct Session : std::enable_shared_from_this<Session> {
     step(ClientEvent::kReconnect);
     ++attempt;
     if (cfg.counters != nullptr) ++cfg.counters->resumes;
+    cfg.obs.instant(sim().now(), obs::Ev::kUploadResume,
+                    static_cast<std::uint32_t>(update.producer), attempt);
+    cfg.obs.count_id(&obs::Ids::upload_resumes);
     if (cfg.on_resume) cfg.on_resume();
     start_attempt();
   }
@@ -120,6 +126,9 @@ struct Session : std::enable_shared_from_this<Session> {
     step(ClientEvent::kComplete);
     const double duration = sim().now() - t0;
     if (cfg.counters != nullptr) ++cfg.counters->completed;
+    cfg.obs.span(t0, sim().now(), obs::Ev::kUploadSession,
+                 static_cast<std::uint32_t>(update.producer), drops);
+    cfg.obs.observe_id(&obs::Ids::upload_session_secs, duration);
     // Deposit the assembled update exactly once: the chunks already paid
     // wire + ingest, so the deposit itself is free (like `seed_update`'s
     // pre-ingested semantics).

@@ -5,6 +5,7 @@
 
 #include "src/dataplane/dataplane.hpp"
 #include "src/fl/model_update.hpp"
+#include "src/obs/obs.hpp"
 #include "src/workload/lifecycle.hpp"
 
 namespace lifl::dp {
@@ -46,6 +47,10 @@ class ResumableUpload {
     std::uint64_t seq = 0;      ///< the upload's arrival sequence number
     double rate_scale = 1.0;    ///< tier disconnect multiplier
     Counters* counters = nullptr;
+    /// Passive observability sink (tracing + typed metrics). Emitting never
+    /// schedules sim events, so an attached sink leaves results bitwise
+    /// identical. Default-constructed == disabled.
+    obs::GroupObs obs;
     /// Fires when the update is deposited: (upload duration in sim seconds
     /// from launch, number of disconnects the session survived).
     std::function<void(double, std::uint32_t)> on_complete;

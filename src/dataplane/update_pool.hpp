@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/fl/model_update.hpp"
+#include "src/obs/registry.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/task.hpp"
 
@@ -148,6 +149,11 @@ class UpdatePool {
   std::uint64_t total_pushed() const noexcept { return total_pushed_; }
   double total_queueing_delay() const noexcept { return total_delay_; }
 
+  /// Attach a passive per-pop queue-wait observer (the campaign's
+  /// gateway-wait histogram). Observing never touches sim state, so an
+  /// attached observer leaves results bitwise identical.
+  void set_wait_observer(obs::HistSlot h) noexcept { wait_obs_ = h; }
+
   /// Restore checkpointed counters onto an idle pool (nothing buffered, no
   /// waiters or depth watchers parked); throws std::logic_error otherwise.
   /// The delay accumulator is a floating-point running sum and restores
@@ -199,7 +205,9 @@ class UpdatePool {
   fl::ModelUpdate take_front() {
     Entry e = std::move(entries_.front());
     entries_.pop_front();
-    total_delay_ += sim_.now() - e.enqueued_at;
+    const double wait = sim_.now() - e.enqueued_at;
+    total_delay_ += wait;
+    wait_obs_.observe(wait);
     return std::move(e.update);
   }
 
@@ -214,6 +222,7 @@ class UpdatePool {
   std::uint64_t total_acked_ = 0;
   std::uint64_t total_aborted_ = 0;
   double total_delay_ = 0.0;
+  obs::HistSlot wait_obs_;  ///< passive; disabled by default
 };
 
 }  // namespace lifl::dp

@@ -1,0 +1,170 @@
+#pragma once
+
+// Typed metrics behind interned integer IDs: counters, gauges, and
+// log2-bucketed histograms, each with one slot per emitting entity
+// (node group, shard, campaign). Interning allocates and happens once
+// at campaign setup; hot-path writes are two array indexes — no string
+// hashing, no locks (each slot has a single writer, mirroring the
+// per-shard trace rings).
+//
+// The paper-facing `dp::MetricsMap` (§4.3 eBPF mirror) is unchanged by
+// this layer: it keeps its string keys for the agent/metrics-server
+// path, while campaign-level telemetry lands here.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lifl::obs {
+
+inline constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+
+struct CounterId {
+  std::uint32_t v = kInvalidId;
+  bool valid() const { return v != kInvalidId; }
+};
+struct GaugeId {
+  std::uint32_t v = kInvalidId;
+  bool valid() const { return v != kInvalidId; }
+};
+struct HistId {
+  std::uint32_t v = kInvalidId;
+  bool valid() const { return v != kInvalidId; }
+};
+
+/// Log2-bucketed histogram: bucket i covers values with binary exponent
+/// i - kExpOffset, i.e. ~2^-32 .. 2^31 (seconds, bytes, depths — any
+/// positive double). Non-positive values land in bucket 0.
+struct Hist {
+  static constexpr int kBuckets = 64;
+  static constexpr int kExpOffset = 32;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  static int bucket_of(double v) {
+    if (!(v > 0.0)) return 0;
+    int e = 0;
+    std::frexp(v, &e);
+    e += kExpOffset;
+    if (e < 0) e = 0;
+    if (e >= kBuckets) e = kBuckets - 1;
+    return e;
+  }
+
+  void observe(double v) {
+    ++buckets[static_cast<std::size_t>(bucket_of(v))];
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+
+  void merge(const Hist& o) {
+    for (int i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+    count += o.count;
+    sum += o.sum;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// The metrics registry. Intern every metric before the hot phase; the
+/// write side then never allocates.
+class Registry {
+ public:
+  explicit Registry(std::size_t slots = 0) : slots_(slots) {}
+
+  std::size_t slots() const { return slots_; }
+
+  CounterId counter(std::string name) {
+    counter_names_.push_back(std::move(name));
+    counters_.emplace_back(slots_, 0);
+    return CounterId{static_cast<std::uint32_t>(counters_.size() - 1)};
+  }
+  GaugeId gauge(std::string name) {
+    gauge_names_.push_back(std::move(name));
+    gauges_.emplace_back(slots_, 0.0);
+    return GaugeId{static_cast<std::uint32_t>(gauges_.size() - 1)};
+  }
+  HistId hist(std::string name) {
+    hist_names_.push_back(std::move(name));
+    hists_.emplace_back(slots_);
+    return HistId{static_cast<std::uint32_t>(hists_.size() - 1)};
+  }
+
+  // ---- hot path (array indexing only) ----
+  void add(std::size_t slot, CounterId id, std::uint64_t delta = 1) {
+    counters_[id.v][slot] += delta;
+  }
+  void set(std::size_t slot, GaugeId id, double v) { gauges_[id.v][slot] = v; }
+  void observe(std::size_t slot, HistId id, double v) {
+    hists_[id.v][slot].observe(v);
+  }
+
+  // ---- read side ----
+  std::uint64_t counter_value(std::size_t slot, CounterId id) const {
+    return counters_[id.v][slot];
+  }
+  double gauge_value(std::size_t slot, GaugeId id) const {
+    return gauges_[id.v][slot];
+  }
+  const Hist& hist_value(std::size_t slot, HistId id) const {
+    return hists_[id.v][slot];
+  }
+
+  std::uint64_t counter_total(CounterId id) const {
+    std::uint64_t t = 0;
+    for (const auto v : counters_[id.v]) t += v;
+    return t;
+  }
+  Hist hist_total(HistId id) const {
+    Hist t;
+    for (const auto& h : hists_[id.v]) t.merge(h);
+    return t;
+  }
+
+  const std::string& counter_name(CounterId id) const {
+    return counter_names_[id.v];
+  }
+  const std::string& gauge_name(GaugeId id) const { return gauge_names_[id.v]; }
+  const std::string& hist_name(HistId id) const { return hist_names_[id.v]; }
+
+  std::size_t counter_count() const { return counters_.size(); }
+  std::size_t gauge_count() const { return gauges_.size(); }
+  std::size_t hist_count() const { return hists_.size(); }
+
+ private:
+  std::size_t slots_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+  std::vector<std::vector<std::uint64_t>> counters_;  // [id][slot]
+  std::vector<std::vector<double>> gauges_;           // [id][slot]
+  std::vector<std::vector<Hist>> hists_;              // [id][slot]
+};
+
+/// POD observer handle: a (registry, slot, histogram) triple that lower
+/// layers (update pool, data plane) can hold without knowing what a
+/// campaign is. Null registry => the observe is a single branch.
+struct HistSlot {
+  Registry* reg = nullptr;
+  std::uint32_t slot = 0;
+  HistId id{};
+
+  explicit operator bool() const { return reg != nullptr; }
+  void observe(double v) const {
+    if (reg != nullptr) reg->observe(slot, id, v);
+  }
+};
+
+}  // namespace lifl::obs

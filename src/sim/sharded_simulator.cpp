@@ -54,7 +54,7 @@ std::uint64_t ShardedSimulator::cross_posts() const noexcept {
   return n;
 }
 
-void ShardedSimulator::drain_mailboxes() {
+std::size_t ShardedSimulator::drain_mailboxes() {
   // Gather into the persistent scratch (capacity survives clear(), so a
   // steady-state barrier allocates nothing).
   drain_scratch_.clear();
@@ -74,7 +74,9 @@ void ShardedSimulator::drain_mailboxes() {
   for (CrossEvent& e : drain_scratch_) {
     shards_[e.dst].sim->schedule_at(e.t, std::move(e.cb));
   }
+  const std::size_t drained = drain_scratch_.size();
   drain_scratch_.clear();
+  return drained;
 }
 
 std::size_t ShardedSimulator::mail_pending() const {
@@ -102,13 +104,29 @@ void ShardedSimulator::record_error() noexcept {
 }
 
 void ShardedSimulator::run_shard_window(std::size_t s) {
+  ShardCell& cell = shards_[s];
+  const std::uint64_t before = cell.sim->dispatched();
   try {
-    shards_[s].sim->run_window(window_end_);
+    cell.sim->run_window(window_end_);
   } catch (...) {
     // The shard's state is torn mid-callback; remember the first error and
     // let the barrier complete so the coordinator can shut down and
     // rethrow (matching the 1-shard mode, where this would propagate).
     record_error();
+  }
+  // Passive per-window accounting, written only by the owning thread.
+  // Dispatch counts are deterministic, so the trace event is too.
+  const std::uint64_t ran = cell.sim->dispatched() - before;
+  ++cell.stats.windows;
+  if (ran == 0) ++cell.stats.empty_windows;
+  cell.done_at = std::chrono::steady_clock::now();
+  if (trace_ != nullptr) {
+    obs::ShardTrace* ring = trace_->shard(s);
+    if (ring != nullptr) {
+      ring->instant(window_end_, obs::Ev::kWindow, obs::shard_track(s),
+                    static_cast<std::uint32_t>(windows_ - 1), ran,
+                    ran == 0 ? obs::kFlagEmpty : 0);
+    }
   }
 }
 
@@ -197,7 +215,7 @@ std::uint64_t ShardedSimulator::run_impl(SimTime mark) {
   for (;;) {
     if (failed_.load(std::memory_order_acquire)) break;
     // ---- serial phase (coordinator only): exchange + plan the window.
-    drain_mailboxes();
+    const std::size_t drained = drain_mailboxes();
     std::size_t regular = 0;
     for (const auto& cell : shards_) regular += cell.sim->pending_regular();
     if (regular == 0) break;
@@ -213,6 +231,14 @@ std::uint64_t ShardedSimulator::run_impl(SimTime mark) {
     if (bounded && t_min >= mark) break;
     window_end_ = t_min + lookahead_;
     ++windows_;
+    if (trace_ != nullptr) {
+      obs::ShardTrace* ring = trace_->coordinator();
+      if (ring != nullptr) {
+        ring->instant(t_min, obs::Ev::kWindow, obs::kCampaignTrack,
+                      static_cast<std::uint32_t>(windows_ - 1), drained,
+                      drained == 0 ? obs::kFlagEmpty : 0);
+      }
+    }
 
     // ---- parallel phase: all shards execute events below the horizon.
     done_.store(0, std::memory_order_release);
@@ -232,6 +258,16 @@ std::uint64_t ShardedSimulator::run_impl(SimTime mark) {
           return done_.load(std::memory_order_acquire) == k - 1;
         });
       }
+    }
+    // Barrier-idle accounting (serial phase again; workers parked): each
+    // shard was idle from its own finish until the slowest shard's.
+    std::chrono::steady_clock::time_point last = shards_[0].done_at;
+    for (const auto& cell : shards_) {
+      if (cell.done_at > last) last = cell.done_at;
+    }
+    for (auto& cell : shards_) {
+      cell.stats.idle_wall_secs +=
+          std::chrono::duration<double>(last - cell.done_at).count();
     }
   }
 

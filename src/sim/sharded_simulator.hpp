@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -10,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/trace.hpp"
 #include "src/sim/calibration.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/task.hpp"
@@ -62,6 +64,17 @@ class ShardedSimulator {
     /// Conservative window lookahead — must be a lower bound on the
     /// delivery delay of every `post` (post clamps to it).
     SimTime lookahead = calib::kCrossShardLatencySecs;
+  };
+
+  /// Always-on per-shard barrier accounting (the optimistic-sync roadmap
+  /// item's baseline data). `idle_wall_secs` is real wall time the shard
+  /// spent finished at a window barrier waiting for the slowest shard —
+  /// it never feeds back into the simulation, so recording it keeps
+  /// results bitwise identical.
+  struct WindowStats {
+    std::uint64_t windows = 0;        ///< windows this shard executed
+    std::uint64_t empty_windows = 0;  ///< windows with zero events to run
+    double idle_wall_secs = 0.0;      ///< wall spent waiting on stragglers
   };
 
   explicit ShardedSimulator(Config cfg);
@@ -117,6 +130,19 @@ class ShardedSimulator {
   /// Window barriers executed by multi-shard `run()` calls.
   std::uint64_t windows() const noexcept { return windows_; }
 
+  /// Per-shard barrier stats (zero in 1-shard mode — no barriers run).
+  /// Only meaningful between runs / from the coordinator.
+  const WindowStats& window_stats(std::size_t i) const {
+    return shards_[i].stats;
+  }
+
+  /// Attach a passive trace recorder (nullptr detaches). Each shard's
+  /// worker emits its window events into its own ring; the coordinator
+  /// emits the mailbox-exchange events into the coordinator ring between
+  /// windows — recording never schedules events or alters the window
+  /// protocol, so traced runs stay bitwise identical to untraced runs.
+  void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
+
  private:
   struct CrossEvent {
     SimTime t;
@@ -133,6 +159,11 @@ class ShardedSimulator {
   struct alignas(64) ShardCell {
     std::unique_ptr<Simulator> sim;
     std::uint64_t posted = 0;
+    /// `windows`/`empty_windows` are written by the owning thread inside
+    /// `run_shard_window`; `idle_wall_secs` and `done_at` are reconciled
+    /// by the coordinator in the serial phase (workers parked).
+    WindowStats stats;
+    std::chrono::steady_clock::time_point done_at{};
   };
 
   /// Single-writer mailbox for one (src, dst) pair; the src worker appends
@@ -153,7 +184,8 @@ class ShardedSimulator {
   /// slice) and are joined by the destructor.
   void ensure_workers();
   /// Sort all mailboxes by (t, src, seq) and schedule into the targets.
-  void drain_mailboxes();
+  /// Returns the number of cross events delivered.
+  std::size_t drain_mailboxes();
   std::size_t mail_pending() const;
   void worker_loop(std::size_t s, std::uint64_t base_epoch);
   /// Run the shard's window, capturing a model-callback exception so it
@@ -169,6 +201,7 @@ class ShardedSimulator {
   std::vector<CrossEvent> drain_scratch_;
   std::vector<std::thread> workers_;
   std::uint64_t windows_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;  ///< passive; not owned
 
   // ---- window barrier (used only when shard_count() > 1) --------------
   // The coordinator publishes `window_end_` then bumps `epoch_`; workers

@@ -1,0 +1,129 @@
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "src/obs/obs.hpp"
+#include "src/systems/sharded_campaign.hpp"
+
+namespace lifl::sys {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_or_throw(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  return f;
+}
+
+}  // namespace
+
+void write_campaign_trace(const ShardedCampaignResult& result,
+                          const std::string& path) {
+  if (!result.obs || !result.obs->config().trace) {
+    throw std::logic_error(
+        "write_campaign_trace: the run was not traced (set cfg.obs.trace)");
+  }
+  FilePtr f = open_or_throw(path);
+  result.obs->write_trace_json(f.get());
+}
+
+void write_campaign_metrics_jsonl(const ShardedCampaignResult& result,
+                                  const std::string& path) {
+  FilePtr fp = open_or_throw(path);
+  std::FILE* f = fp.get();
+
+  // One row per round (sync) / emitted model version (async).
+  for (std::size_t i = 0; i < result.round_started_at.size(); ++i) {
+    std::fprintf(
+        f,
+        "{\"type\": \"round\", \"round\": %zu, \"started_at\": %.9f, "
+        "\"completed_at\": %.9f, \"secs\": %.9f, \"samples\": %llu, "
+        "\"weight\": %.17g, \"spawned\": %llu, \"reused\": %llu, "
+        "\"refolded\": %llu}\n",
+        i + 1, result.round_started_at[i], result.round_completed_at[i],
+        result.round_completed_at[i] - result.round_started_at[i],
+        static_cast<unsigned long long>(result.round_samples[i]),
+        result.round_weight[i],
+        static_cast<unsigned long long>(
+            i < result.round_spawned.size() ? result.round_spawned[i] : 0),
+        static_cast<unsigned long long>(
+            i < result.round_reused.size() ? result.round_reused[i] : 0),
+        static_cast<unsigned long long>(
+            i < result.round_refolded.size() ? result.round_refolded[i] : 0));
+  }
+
+  // One row per shard: the barrier-stall report.
+  for (std::size_t s = 0; s < result.shard_windows.size(); ++s) {
+    std::fprintf(f,
+                 "{\"type\": \"shard\", \"shard\": %zu, \"windows\": %llu, "
+                 "\"empty_windows\": %llu, \"idle_wall_secs\": %.6f}\n",
+                 s,
+                 static_cast<unsigned long long>(result.shard_windows[s]),
+                 static_cast<unsigned long long>(
+                     result.shard_empty_windows[s]),
+                 result.shard_idle_secs[s]);
+  }
+
+  // Summary row: campaign totals, plus registry aggregates when the run
+  // was metered and ring accounting when it was traced.
+  std::fprintf(
+      f,
+      "{\"type\": \"summary\", \"rounds\": %zu, \"events\": %llu, "
+      "\"cross_posts\": %llu, \"windows\": %llu, \"spawned_total\": %llu, "
+      "\"reused_total\": %llu, \"replans\": %llu, \"sim_secs\": %.9f, "
+      "\"wall_secs\": %.6f",
+      result.round_started_at.size(),
+      static_cast<unsigned long long>(result.events),
+      static_cast<unsigned long long>(result.cross_posts),
+      static_cast<unsigned long long>(result.windows),
+      static_cast<unsigned long long>(result.spawned_total),
+      static_cast<unsigned long long>(result.reused_total),
+      static_cast<unsigned long long>(result.replans), result.sim_secs,
+      result.wall_secs);
+  if (result.obs) {
+    const obs::CampaignObs& co = *result.obs;
+    if (co.config().trace) {
+      std::fprintf(
+          f, ", \"trace_recorded\": %llu, \"trace_dropped\": %llu",
+          static_cast<unsigned long long>(co.trace().recorded_events()),
+          static_cast<unsigned long long>(co.trace().dropped_events()));
+    }
+    if (co.config().metrics) {
+      const obs::Registry& reg = co.registry();
+      std::fprintf(f, ", \"counters\": {");
+      for (std::size_t i = 0; i < reg.counter_count(); ++i) {
+        const obs::CounterId id{static_cast<std::uint32_t>(i)};
+        std::fprintf(
+            f, "%s\"%s\": %llu", i == 0 ? "" : ", ",
+            reg.counter_name(id).c_str(),
+            static_cast<unsigned long long>(reg.counter_total(id)));
+      }
+      std::fprintf(f, "}, \"hists\": {");
+      for (std::size_t i = 0; i < reg.hist_count(); ++i) {
+        const obs::HistId id{static_cast<std::uint32_t>(i)};
+        const obs::Hist h = reg.hist_total(id);
+        std::fprintf(f,
+                     "%s\"%s\": {\"count\": %llu, \"sum\": %.9f, "
+                     "\"mean\": %.9f, \"min\": %.9f, \"max\": %.9f}",
+                     i == 0 ? "" : ", ", reg.hist_name(id).c_str(),
+                     static_cast<unsigned long long>(h.count), h.sum,
+                     h.mean(), h.count == 0 ? 0.0 : h.min,
+                     h.count == 0 ? 0.0 : h.max);
+      }
+      std::fprintf(f, "}");
+    }
+  }
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace lifl::sys

@@ -41,6 +41,9 @@ struct Group {
   sim::Rng rng{0};
   std::vector<std::unique_ptr<fl::AggregatorRuntime>> aggs;  ///< fixed mode
   std::unique_ptr<StreamingHierarchy> hier;                  ///< planned mode
+  /// Passive observability handle (this group's track + shard ring).
+  /// Disabled (all-null) unless the campaign config enabled obs.
+  obs::GroupObs obs;
 
   // Open-loop arrival chain state for the current round (one pending
   // arrival event at a time, profiles derived lazily per index).
@@ -115,6 +118,14 @@ struct CampaignState {
   double completed_at = -1.0;
   std::uint64_t round_samples = 0;
   double round_weight = 0.0;  ///< effective weight of the last round/version
+
+  // ---- observability (passive; never checkpointed) ---------------------
+  /// Campaign-track handle writing group 0's shard ring: checkpoint-mark
+  /// pulses and async version emissions run on that shard's thread.
+  obs::GroupObs camp_obs;
+  /// Campaign-track handle writing the coordinator ring — only touched
+  /// between windows (round epilogues, checkpoint blob cuts).
+  obs::GroupObs coord_obs;
 
   // ---- async stream (hierarchy == kAsync) ------------------------------
   // Version-cadence state of the recurring top. Written by group 0's shard

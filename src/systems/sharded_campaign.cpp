@@ -96,6 +96,11 @@ void attempt_upload(CampaignState* st, Group* g, fl::ModelUpdate u,
   const sim::FaultPlan& fp = st->faults;
   const auto retry = [&](fl::ModelUpdate again) {
     ++g->upload_retries;
+    g->obs.instant(g->sim->now(), obs::Ev::kUploadRetry,
+                   static_cast<std::uint32_t>(again.producer), attempt + 1);
+    g->obs.count_id(&obs::Ids::upload_retries);
+    g->obs.observe_id(&obs::Ids::retry_depth,
+                      static_cast<double>(attempt + 1));
     const double d = fp.backoff_secs(g->id, seq, attempt);
     g->sim->schedule_after(
         d, [st, g, again = std::move(again), uplink, seq, attempt,
@@ -185,6 +190,7 @@ void launch_session(CampaignState* st, Group* g, fl::ModelUpdate u,
   rc.seq = seq;
   rc.rate_scale = wl::tier_traits(profile.tier).disconnect_scale;
   rc.counters = &g->lifecycle;
+  rc.obs = g->obs;
   rc.on_complete = [g, idx, ti, selected_at](double, std::uint32_t) {
     ++g->tier_completed[ti];
     if (g->strategy) {
@@ -356,6 +362,11 @@ void on_version(CampaignState& st, fl::ModelUpdate u) {
   st.out->round_completed_at.push_back(now);
   st.out->round_samples.push_back(u.sample_count);
   st.out->round_weight.push_back(u.weight);
+  st.camp_obs.span(st.version_started_at, now, obs::Ev::kRound,
+                   st.async_version, u.sample_count);
+  st.camp_obs.instant(now, obs::Ev::kVersion, st.async_version,
+                      u.updates_folded);
+  st.camp_obs.observe_id(&obs::Ids::round_secs, now - st.version_started_at);
   st.version_started_at = now;
   if (st.cfg->async_auto_quota) {
     // FedBuff quota auto-tuning: EWMA of each version's effective/raw
@@ -417,6 +428,10 @@ struct CkptPulse {
     if (st->round_done) return;
     st->ckpt->begin_write(st->groups[0].round, st->ckpt_blob_bytes);
     ++st->ckpt_marks;
+    st->camp_obs.instant(at, obs::Ev::kCkptMark,
+                         static_cast<std::uint32_t>(st->ckpt_marks),
+                         st->ckpt_blob_bytes);
+    st->camp_obs.count_id(&obs::Ids::ckpt_marks);
     const double next = at + st->cfg->checkpoint_every_secs;
     st->groups[0].sim->schedule_at(next, CkptPulse{st, next});
   }
@@ -724,9 +739,25 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
   scfg.lookahead = calib::kCrossShardLatencySecs;
   sim::ShardedSimulator sharded(scfg);
 
+  // Observability bundle (passive): rings + registry live on the result's
+  // shared_ptr so they outlive this call; the sharded core only holds a
+  // borrowed recorder pointer for the duration of the run.
+  std::shared_ptr<obs::CampaignObs> campaign_obs;
+  if (cfg.obs.enabled()) {
+    campaign_obs = std::make_shared<obs::CampaignObs>(
+        cfg.obs, sharded.shard_count(), cfg.groups);
+    if (cfg.obs.trace) sharded.set_trace(&campaign_obs->trace());
+  }
+
   CampaignState st;
   st.cfg = &cfg;
   st.sharded = &sharded;
+  if (campaign_obs) {
+    // Group 0 always maps to shard 0; its thread runs the checkpoint
+    // pulses and async version emissions.
+    st.camp_obs = campaign_obs->campaign_obs_on_shard(0);
+    st.coord_obs = campaign_obs->coordinator_obs();
+  }
   st.faults = sim::FaultPlan(cfg.fault);
   {
     // Mix the campaign seed into the lifecycle/selection draw seeds so two
@@ -767,6 +798,11 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     pcfg.gateway_queues = cfg.gateway_queues;
     g.plane = std::make_unique<dp::DataPlane>(
         *g.cluster, pcfg, sim::Rng(cfg.seed * 1000003 + gi));
+    if (campaign_obs) {
+      g.obs = campaign_obs->group_obs(gi, g.shard);
+      g.plane->env(0).pool.set_wait_observer(
+          g.obs.hist_slot(campaign_obs->ids().gateway_wait_secs));
+    }
     g.rng = sim::Rng(cfg.seed ^ (0x9e3779b97f4a7c15ull * (gi + 1)));
     g.population =
         tiered ? wl::ClientPopulation::tiered(
@@ -814,6 +850,7 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
       hcfg.reuse = cfg.reuse;
       hcfg.replan_interval = cfg.replan_interval_secs;
       hcfg.cold_start_spawns = cfg.cold_start_spawns;
+      hcfg.obs = g.obs;
       hcfg.on_relay_result = GroupRelay{&st, gi};
       if (st.faults.enabled()) hcfg.faults = &st.faults;
       if (planned && cfg.quorum < 1.0) {
@@ -945,6 +982,10 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
           result.checkpoint_encode_secs += wall_since(enc0);
           ++result.checkpoints_written;
           result.checkpoint_bytes += blob.size();
+          st.coord_obs.instant(
+              m, obs::Ev::kCkptEncode,
+              static_cast<std::uint32_t>(result.checkpoints_written),
+              blob.size());
           if (!cfg.checkpoint_path.empty()) {
             CampaignCheckpoint::write_file(cfg.checkpoint_path, blob);
           }
@@ -1080,6 +1121,10 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
           result.checkpoint_encode_secs += wall_since(enc0);
           ++result.checkpoints_written;
           result.checkpoint_bytes += blob.size();
+          st.coord_obs.instant(
+              m, obs::Ev::kCkptEncode,
+              static_cast<std::uint32_t>(result.checkpoints_written),
+              blob.size());
           if (!cfg.checkpoint_path.empty()) {
             CampaignCheckpoint::write_file(cfg.checkpoint_path, blob);
           }
@@ -1101,6 +1146,10 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
     result.round_completed_at.push_back(st.completed_at);
     result.round_samples.push_back(st.round_samples);
     result.round_weight.push_back(st.round_weight);
+    // Round span + latency (coordinator thread, shards parked).
+    st.coord_obs.span(epoch, st.completed_at, obs::Ev::kRound, round,
+                      st.round_samples);
+    st.coord_obs.observe_id(&obs::Ids::round_secs, st.completed_at - epoch);
 
     // Round-boundary bookkeeping (coordinator thread, sims idle).
     std::uint64_t refolded_round = 0;
@@ -1181,6 +1230,24 @@ ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg) {
   result.events = sharded.dispatched();
   result.cross_posts = sharded.cross_posts();
   result.windows = sharded.windows();
+  // Per-shard barrier report (always on — the core counts windows whether
+  // or not tracing is enabled; zero for the 1-shard fast path, which never
+  // runs the window barrier).
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    const sim::ShardedSimulator::WindowStats& ws = sharded.window_stats(s);
+    result.shard_windows.push_back(ws.windows);
+    result.shard_empty_windows.push_back(ws.empty_windows);
+    result.shard_idle_secs.push_back(ws.idle_wall_secs);
+    if (campaign_obs && cfg.obs.metrics) {
+      obs::Registry& reg = campaign_obs->registry();
+      const obs::Ids& ids = campaign_obs->ids();
+      const std::uint32_t slot = campaign_obs->shard_slot(s);
+      reg.add(slot, ids.windows, ws.windows);
+      reg.add(slot, ids.empty_windows, ws.empty_windows);
+      reg.set(slot, ids.barrier_idle_secs, ws.idle_wall_secs);
+    }
+  }
+  result.obs = std::move(campaign_obs);
   result.checkpoint_marks = st.ckpt_marks;
   result.sim_secs = sim_end;
   result.wall_secs = wall_since(wall0);

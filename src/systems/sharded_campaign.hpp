@@ -3,12 +3,14 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/control/selection.hpp"
 #include "src/fl/aggregator_runtime.hpp"
 #include "src/fl/checkpoint.hpp"
+#include "src/obs/obs.hpp"
 #include "src/sim/calibration.hpp"
 #include "src/sim/fault_plan.hpp"
 #include "src/sim/time.hpp"
@@ -184,6 +186,13 @@ struct ShardedCampaignConfig {
   /// mark grid above decides when).
   fl::CheckpointManager::Config checkpoint_cost;
 
+  // ---- observability (src/obs) -----------------------------------------
+  /// Sim-time tracing + typed metrics. Strictly passive: recording never
+  /// schedules sim events, so enabling it leaves campaign results bitwise
+  /// identical (tests/obs_campaign_test.cpp) for every shard count. Trace
+  /// state is not checkpointed — a resumed run re-emits from the cut.
+  obs::Config obs;
+
   std::size_t uploads_per_round() const {
     return groups * leaves_per_group * updates_per_leaf;
   }
@@ -291,6 +300,18 @@ struct ShardedCampaignResult {
   std::uint64_t quota_adjustments = 0;
   std::uint64_t async_quota_final = 0;
 
+  // ---- observability ---------------------------------------------------
+  /// Per-shard barrier telemetry, always filled (the sharded core counts
+  /// windows regardless of tracing): conservative windows run, windows in
+  /// which the shard dispatched nothing, and wall seconds the shard spent
+  /// parked at barriers waiting for the slowest shard.
+  std::vector<std::uint64_t> shard_windows;
+  std::vector<std::uint64_t> shard_empty_windows;
+  std::vector<double> shard_idle_secs;
+  /// The run's trace rings + metric registry when `cfg.obs` enabled them;
+  /// null otherwise. Shared so the result stays copy/move friendly.
+  std::shared_ptr<obs::CampaignObs> obs;
+
   double wall_secs = 0.0;
   double sim_secs = 0.0;          ///< final simulated time (max over groups)
 };
@@ -298,5 +319,16 @@ struct ShardedCampaignResult {
 /// Run the campaign. Deterministic: same config (including `groups`) =>
 /// same result for any `shards`; see tests/sharded_sim_test.cpp.
 ShardedCampaignResult run_sharded_campaign(const ShardedCampaignConfig& cfg);
+
+/// Write the run's Perfetto-loadable Chrome trace JSON to `path`. Throws
+/// std::logic_error if the run was not traced (`cfg.obs.trace`).
+void write_campaign_trace(const ShardedCampaignResult& result,
+                          const std::string& path);
+
+/// Write the per-round/per-version timeseries plus a final summary row
+/// (registry counters/histograms, per-shard window stats) as JSON lines.
+/// Works for any run — registry fields appear only when metrics were on.
+void write_campaign_metrics_jsonl(const ShardedCampaignResult& result,
+                                  const std::string& path);
 
 }  // namespace lifl::sys

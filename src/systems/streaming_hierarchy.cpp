@@ -32,6 +32,7 @@ sim::Simulator& StreamingHierarchy::sim() {
 
 std::unique_ptr<fl::AggregatorRuntime> StreamingHierarchy::acquire(
     fl::AggregatorRuntime::Config rc) {
+  const std::uint32_t id = static_cast<std::uint32_t>(rc.id);
   if (!pool_.empty()) {
     // Warm reuse: re-arm in place — zero start-up cost, no registration of
     // a new sandbox. LIFO keeps the hottest instance hottest.
@@ -40,6 +41,8 @@ std::unique_ptr<fl::AggregatorRuntime> StreamingHierarchy::acquire(
     rt->rearm(std::move(rc));
     ++round_.reused;
     ++total_.reused;
+    cfg_.obs.instant(sim().now(), obs::Ev::kAggRearm, id);
+    cfg_.obs.count_id(&obs::Ids::rearms);
     return rt;
   }
   if (cfg_.cold_start_spawns) apply_lifl_cold_start(rc);
@@ -47,6 +50,8 @@ std::unique_ptr<fl::AggregatorRuntime> StreamingHierarchy::acquire(
   rt->start();
   ++round_.spawned;
   ++total_.spawned;
+  cfg_.obs.instant(sim().now(), obs::Ev::kAggSpawn, id);
+  cfg_.obs.count_id(&obs::Ids::spawns);
   return rt;
 }
 
@@ -83,6 +88,11 @@ void StreamingHierarchy::seal_middles() {
     // Seal at the updates actually routed through it; a middle that was
     // never assigned anything keeps goal 0 and simply never sends.
     m.rt->set_goal(static_cast<std::uint32_t>(m.assigned), /*open=*/false);
+  }
+  if (!middles_.empty()) {
+    cfg_.obs.instant(sim().now(), obs::Ev::kAggSeal,
+                     static_cast<std::uint32_t>(middles_.size()), claimed_);
+    cfg_.obs.count_id(&obs::Ids::seals);
   }
 }
 
@@ -166,6 +176,9 @@ bool StreamingHierarchy::activate_leaf() {
   s->retiring = false;
   s->rt = acquire(leaf_config(*s));
   arm_leaf_deadline(*s);
+  cfg_.obs.instant(sim().now(), obs::Ev::kAggClaim,
+                   static_cast<std::uint32_t>(leaf_id(*s)), b);
+  cfg_.obs.count_id(&obs::Ids::claims);
   ++active_;
   round_.peak_leaves = std::max(round_.peak_leaves, active_);
   total_.peak_leaves = std::max(total_.peak_leaves, active_);
@@ -231,6 +244,9 @@ void StreamingHierarchy::flush_leaf(LeafSlot* s, std::uint64_t gen) {
   s->batch = have;
   ++round_.drains;
   ++total_.drains;
+  cfg_.obs.instant(sim().now(), obs::Ev::kAggDrain,
+                   static_cast<std::uint32_t>(leaf_id(*s)), have);
+  cfg_.obs.count_id(&obs::Ids::drains);
   s->rt->drain();
 }
 
@@ -257,6 +273,9 @@ void StreamingHierarchy::retire_leaf(LeafSlot& s) {
   } else if (unfilled > 0) {
     ++round_.drains;
     ++total_.drains;
+    cfg_.obs.instant(sim().now(), obs::Ev::kAggDrain,
+                     static_cast<std::uint32_t>(leaf_id(s)), have);
+    cfg_.obs.count_id(&obs::Ids::drains);
     s.rt->drain();  // may complete (and park via on_leaf_batch) synchronously
   }
   // else: the batch is fully received and mid-fold — it completes through
@@ -273,6 +292,16 @@ void StreamingHierarchy::park_leaf(LeafSlot& s) {
 }
 
 void StreamingHierarchy::on_leaf_batch(LeafSlot* s, fl::ModelUpdate u) {
+  if (cfg_.obs.tracing() || cfg_.obs.metering()) {
+    // Fold span: first arrival into this batch -> the batch completing.
+    const double t1 = sim().now();
+    const double first = s->rt->first_arrival_at();
+    const double t0 = first >= 0.0 ? first : t1;
+    cfg_.obs.span(t0, t1, obs::Ev::kAggFold,
+                  static_cast<std::uint32_t>(leaf_id(*s)), s->batch);
+    cfg_.obs.count_id(&obs::Ids::folds);
+    cfg_.obs.observe_id(&obs::Ids::fold_secs, t1 - t0);
+  }
   const fl::ParticipantId parent =
       s->middle == kNoMiddle ? cfg_.relay_id : middles_[s->middle].id;
   plane_.send(leaf_id(*s), cfg_.node, parent, std::move(u));
@@ -292,6 +321,9 @@ void StreamingHierarchy::on_leaf_batch(LeafSlot* s, fl::ModelUpdate u) {
   s->middle = assign_parent(b);
   s->rt->rearm(leaf_config(*s));  // streaming self-re-arm: same warm sandbox
   arm_leaf_deadline(*s);
+  cfg_.obs.instant(sim().now(), obs::Ev::kAggClaim,
+                   static_cast<std::uint32_t>(leaf_id(*s)), b);
+  cfg_.obs.count_id(&obs::Ids::claims);
 }
 
 void StreamingHierarchy::apply_leaf_target(std::uint32_t target) {
@@ -300,6 +332,8 @@ void StreamingHierarchy::apply_leaf_target(std::uint32_t target) {
   if (target == active_) return;
   ++round_.replans;
   ++total_.replans;
+  cfg_.obs.instant(sim().now(), obs::Ev::kReplan, active_, target);
+  cfg_.obs.count_id(&obs::Ids::replans);
   if (target > active_) {
     while (active_ < target && activate_leaf()) {
     }
@@ -339,12 +373,16 @@ bool StreamingHierarchy::sampler_tick() {
 void StreamingHierarchy::recover_leaf(LeafSlot* s) {
   ++round_.leaf_crashes;
   ++total_.leaf_crashes;
+  cfg_.obs.instant(sim().now(), obs::Ev::kAggCrash,
+                   static_cast<std::uint32_t>(leaf_id(*s)));
+  cfg_.obs.count_id(&obs::Ids::crashes);
   auto& pool = plane_.env(cfg_.node).pool;
   // Abort the dead instance's leases: every client update it accepted but
   // never emitted comes back, in acceptance order.
   std::vector<fl::ModelUpdate> lost = pool.lease_abort(leaf_id(*s));
   round_.refolded += lost.size();
   total_.refolded += lost.size();
+  cfg_.obs.count_id(&obs::Ids::refolds, lost.size());
   // The corpse cannot be destroyed here — we are inside its crash
   // callback — so it waits in the graveyard until the round ends.
   graveyard_.push_back(std::move(s->rt));
@@ -359,6 +397,9 @@ void StreamingHierarchy::recover_leaf(LeafSlot* s) {
     total_.recovery_secs += calib::kLiflColdStartSecs;
   }
   arm_leaf_deadline(*s);
+  cfg_.obs.instant(sim().now(), obs::Ev::kAggRecover,
+                   static_cast<std::uint32_t>(leaf_id(*s)), lost.size());
+  cfg_.obs.count_id(&obs::Ids::recoveries);
   // Re-queue the recovered updates: the replacement's pool pulls (or any
   // other live leaf's) re-claim and re-fold them — zero samples lost.
   for (auto& u : lost) pool.push(std::move(u));
@@ -368,6 +409,9 @@ void StreamingHierarchy::recover_middle(std::size_t mi) {
   ++round_.middle_crashes;
   ++total_.middle_crashes;
   Middle& m = middles_[mi];
+  cfg_.obs.instant(sim().now(), obs::Ev::kAggCrash,
+                   static_cast<std::uint32_t>(m.id));
+  cfg_.obs.count_id(&obs::Ids::crashes);
   auto& pool = plane_.env(cfg_.node).pool;
   std::vector<fl::ModelUpdate> lost = pool.lease_abort(m.id);
   round_.reinjected += lost.size();
@@ -386,6 +430,9 @@ void StreamingHierarchy::recover_middle(std::size_t mi) {
     round_.recovery_secs += calib::kLiflColdStartSecs;
     total_.recovery_secs += calib::kLiflColdStartSecs;
   }
+  cfg_.obs.instant(sim().now(), obs::Ev::kAggRecover,
+                   static_cast<std::uint32_t>(m.id), lost.size());
+  cfg_.obs.count_id(&obs::Ids::recoveries);
   // Re-inject the retained leaf partials directly: they are folded
   // *messages* of this middle, not pool entries — routing them through the
   // group pool would hand whole partials to message-counting leaves.
@@ -425,6 +472,8 @@ void StreamingHierarchy::seal_quorum() {
   const std::uint64_t abandoned = target_ - claimed_;
   round_.quorum_abandoned += abandoned;
   total_.quorum_abandoned += abandoned;
+  cfg_.obs.instant(sim().now(), obs::Ev::kQuorumSeal, round_num_, abandoned);
+  cfg_.obs.count_id(&obs::Ids::quorum_seals);
   target_ = claimed_;
   if (!sealed_) {
     sealed_ = true;

@@ -8,6 +8,7 @@
 #include "src/control/campaign_planner.hpp"
 #include "src/dataplane/dataplane.hpp"
 #include "src/fl/aggregator_runtime.hpp"
+#include "src/obs/obs.hpp"
 #include "src/sim/fault_plan.hpp"
 #include "src/sim/time.hpp"
 
@@ -133,6 +134,12 @@ class StreamingHierarchy {
     /// number of abandoned client updates (the campaign shrinks the top
     /// aggregator's folded-count goal by it).
     std::function<void(std::uint64_t)> on_quorum_shortfall;
+
+    // ---- observability ---------------------------------------------------
+    /// Passive trace/metrics handle for this group (default: disabled —
+    /// every emit is a single branch). Recording never schedules events,
+    /// so traced runs stay bitwise identical to untraced ones.
+    obs::GroupObs obs;
   };
 
   /// Spawn/reuse/re-plan accounting; `round_stats` resets at begin_round.

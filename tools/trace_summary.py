@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Summarize a campaign trace exported by write_campaign_trace.
+
+Reads the Chrome trace-event JSON (the file you would load in Perfetto)
+and prints, per track, a table of event kinds: span counts with total /
+mean / max sim-time duration, and instant counts. Also reports the ring
+drop accounting from the exporter's otherData block.
+
+Stdlib only. Usage:
+
+    python3 tools/trace_summary.py trace.json [--kind KIND] [--track NAME]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def track_names(events):
+    """Map (pid, tid) -> 'process/thread' from the metadata events."""
+    procs, threads = {}, {}
+    for e in events:
+        if e.get("ph") != "M":
+            continue
+        key = (e["pid"], e["tid"])
+        if e["name"] == "process_name":
+            procs[e["pid"]] = e["args"]["name"]
+        elif e["name"] == "thread_name":
+            threads[key] = e["args"]["name"]
+    names = {}
+    for (pid, tid), tname in threads.items():
+        names[(pid, tid)] = f"{procs.get(pid, pid)}/{tname}"
+    return names
+
+
+class KindStats:
+    __slots__ = ("spans", "instants", "total_us", "max_us")
+
+    def __init__(self):
+        self.spans = 0
+        self.instants = 0
+        self.total_us = 0.0
+        self.max_us = 0.0
+
+    def add(self, event):
+        if event.get("ph") == "X":
+            self.spans += 1
+            dur = float(event.get("dur", 0.0))
+            self.total_us += dur
+            self.max_us = max(self.max_us, dur)
+        else:
+            self.instants += 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="trace JSON written by --trace/write_campaign_trace")
+    ap.add_argument("--kind", help="only this event kind (e.g. round, agg_fold)")
+    ap.add_argument("--track", help="only tracks whose name contains this substring")
+    args = ap.parse_args()
+
+    doc = load(args.trace)
+    events = doc.get("traceEvents", [])
+    names = track_names(events)
+
+    # (track_name, kind) -> stats
+    stats = defaultdict(KindStats)
+    t_min, t_max = float("inf"), float("-inf")
+    for e in events:
+        if e.get("ph") not in ("X", "i"):
+            continue
+        track = names.get((e["pid"], e["tid"]), f"{e['pid']}/{e['tid']}")
+        if args.track and args.track not in track:
+            continue
+        if args.kind and e["name"] != args.kind:
+            continue
+        stats[(track, e["name"])].add(e)
+        ts = float(e["ts"])
+        t_min = min(t_min, ts)
+        t_max = max(t_max, ts + max(0.0, float(e.get("dur", 0.0))))
+
+    if not stats:
+        print("no matching events")
+        return 1
+
+    rows = [("track", "kind", "spans", "instants", "total(s)", "mean(s)", "max(s)")]
+    for (track, kind), s in sorted(stats.items()):
+        mean = s.total_us / s.spans if s.spans else 0.0
+        rows.append(
+            (
+                track,
+                kind,
+                str(s.spans),
+                str(s.instants),
+                f"{s.total_us / 1e6:.3f}",
+                f"{mean / 1e6:.4f}",
+                f"{s.max_us / 1e6:.4f}",
+            )
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for i, r in enumerate(rows):
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+        if i == 0:
+            print("  ".join("-" * w for w in widths))
+
+    total = sum(s.spans + s.instants for s in stats.values())
+    print(
+        f"\n{total} events across {len({t for t, _ in stats})} tracks, "
+        f"sim-time window [{t_min / 1e6:.3f}s, {t_max / 1e6:.3f}s]"
+    )
+    dropped = doc.get("otherData", {}).get("dropped_events", 0)
+    if dropped:
+        print(
+            f"WARNING: {dropped} events dropped by full rings "
+            "(raise --trace-ring-kb)"
+        )
+    else:
+        print("no ring drops")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
