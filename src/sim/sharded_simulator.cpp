@@ -14,19 +14,35 @@ namespace {
 /// the blocking fallback keeps oversubscribed machines (fewer cores than
 /// shards) from melting down.
 constexpr int kSpinIters = 4096;
+/// Optimistic speculation opens only while the busiest (src,dst) pair's
+/// cross-post EWMA sits below this: with `calib::kEwmaAlpha` = 0.7, a
+/// single drained post lifts the EWMA to 0.3, so any traffic in the last
+/// few windows keeps speculation shut.
+constexpr double kSpecQuietEwma = 0.125;
 }  // namespace
 
 ShardedSimulator::ShardedSimulator(Config cfg)
-    : lookahead_(cfg.lookahead) {
+    : lookahead_(cfg.lookahead),
+      sync_(cfg.sync),
+      spec_max_(cfg.spec_max_lookaheads),
+      fence_(cfg.spec_fence) {
   if (cfg.shards == 0) {
     throw std::invalid_argument("ShardedSimulator: shards must be >= 1");
   }
   if (!(lookahead_ > 0.0)) {
     throw std::invalid_argument("ShardedSimulator: lookahead must be > 0");
   }
+  if (spec_max_ == 0) {
+    throw std::invalid_argument(
+        "ShardedSimulator: spec_max_lookaheads must be >= 1");
+  }
   shards_.resize(cfg.shards);
   for (auto& cell : shards_) cell.sim = std::make_unique<Simulator>();
   mail_.resize(cfg.shards * cfg.shards);
+  promises_.resize(cfg.shards);
+  promised_.assign(cfg.shards, 0.0);
+  pair_count_.assign(cfg.shards * cfg.shards, 0);
+  pair_ewma_.assign(cfg.shards * cfg.shards, 0.0);
 }
 
 void ShardedSimulator::post(std::size_t from, std::size_t to, SimTime t,
@@ -41,6 +57,15 @@ void ShardedSimulator::post(std::size_t from, std::size_t to, SimTime t,
   if (from == to) {
     src.schedule_at(t, std::move(cb));
     return;
+  }
+  // Promise enforcement: the adaptive horizon trusted this shard not to
+  // deliver before `promised_[from]`. A post below that bound means the
+  // installed promise was unsound — a model bug, not a speculation miss —
+  // so fail loudly (worker-thread throws ride the record_error path).
+  if (t < promised_[from]) {
+    throw std::logic_error(
+        "ShardedSimulator: cross-shard post below the shard's outbound "
+        "promise (unsound promise function)");
   }
   mailbox(from, to).events.push_back(
       CrossEvent{t, static_cast<std::uint32_t>(from),
@@ -71,6 +96,36 @@ std::size_t ShardedSimulator::drain_mailboxes() {
               if (x.src != y.src) return x.src < y.src;
               return x.seq < y.seq;
             });
+  // Causality audit before injection (`schedule_at` would silently clamp
+  // a past delivery to the receiver's clock). A delivery at or below the
+  // receiver's clock is impossible under conservative/adaptive horizons
+  // (every shard ran strictly below a bound no delivery undercuts), so
+  // outside optimistic mode it is an internal invariant failure. Under
+  // speculation it is the expected miss: collect the *maximum* violated
+  // receiver clock across all stragglers in this drain — the replay fence
+  // must clear every one of them at once — and report the first straggler
+  // in (t, src, seq) order so the error is deterministic.
+  const std::size_t k = shards_.size();
+  if (k > 1) {
+    const CrossEvent* first = nullptr;
+    SimTime fence = 0.0;
+    for (const CrossEvent& e : drain_scratch_) {
+      ++pair_count_[e.src * k + e.dst];
+      const SimTime now = shards_[e.dst].sim->now();
+      if (e.t <= now) {
+        if (sync_ != SyncMode::kOptimistic) {
+          throw std::logic_error(
+              "ShardedSimulator: non-speculative window admitted a "
+              "cross-shard post into a receiver's past");
+        }
+        if (first == nullptr) first = &e;
+        fence = std::max(fence, now);
+      }
+    }
+    if (first != nullptr) {
+      throw CausalityViolation(first->t, fence, first->src, first->dst);
+    }
+  }
   for (CrossEvent& e : drain_scratch_) {
     shards_[e.dst].sim->schedule_at(e.t, std::move(e.cb));
   }
@@ -184,6 +239,67 @@ void ShardedSimulator::worker_loop(std::size_t s, std::uint64_t base_epoch) {
   }
 }
 
+SimTime ShardedSimulator::plan_window(SimTime t_min, std::size_t drained) {
+  const SimTime conservative = t_min + lookahead_;
+  if (sync_ == SyncMode::kConservative) return conservative;
+
+  // Tick the per-pair traffic EWMA once per opened window. `run_to`
+  // pauses never reach here (the mark check breaks first), so slicing a
+  // run leaves the EWMA — and with it every speculation decision — on the
+  // exact trajectory of the unsliced run.
+  double busiest = 0.0;
+  for (std::size_t p = 0; p < pair_ewma_.size(); ++p) {
+    pair_ewma_[p] = calib::kEwmaAlpha * pair_ewma_[p] +
+                    (1.0 - calib::kEwmaAlpha) *
+                        static_cast<double>(pair_count_[p]);
+    pair_count_[p] = 0;
+    busiest = std::max(busiest, pair_ewma_[p]);
+  }
+
+  // Sound horizon: each shard caps the window at the earliest cross-shard
+  // delivery it may still cause — the conservative `next event + lookahead`
+  // or its installed promise, whichever is later. An empty shard can only
+  // react to future deliveries (themselves at or beyond any horizon we
+  // pick), so it contributes no cap; the promises are cached for `post`
+  // to enforce during the window.
+  SimTime sound = std::numeric_limits<SimTime>::infinity();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const SimTime next = shards_[s].sim->next_event_time();
+    SimTime bound = next == std::numeric_limits<SimTime>::infinity()
+                        ? next
+                        : next + lookahead_;
+    const SimTime promise = promises_[s] ? promises_[s]() : 0.0;
+    promised_[s] = promise;
+    if (promise > bound) bound = promise;
+    sound = std::min(sound, bound);
+  }
+  // The cap keeps the window finite when every shard promises forever
+  // (the rest of the run is shard-local) and bounds the straddle past a
+  // `run_to` mark.
+  const SimTime cap =
+      conservative + static_cast<double>(spec_max_) * lookahead_;
+  SimTime horizon = std::max(conservative, std::min(sound, cap));
+
+  if (sync_ == SyncMode::kOptimistic) {
+    if (t_min < fence_) {
+      // Replaying through a rolled-back region: stay sound below the
+      // fence so the straggler that invalidated the last attempt is
+      // delivered conservatively this time.
+      spec_bonus_ = 0;
+    } else if (drained == 0 && busiest < kSpecQuietEwma) {
+      spec_bonus_ =
+          spec_bonus_ == 0 ? 1 : std::min(spec_bonus_ * 2, spec_max_);
+      horizon += static_cast<double>(spec_bonus_) * lookahead_;
+    } else {
+      spec_bonus_ = 0;
+    }
+  }
+
+  windows_skipped_ +=
+      static_cast<std::uint64_t>((horizon - conservative) / lookahead_);
+  return horizon;
+}
+
 std::uint64_t ShardedSimulator::run() {
   return run_impl(std::numeric_limits<SimTime>::infinity());
 }
@@ -229,7 +345,7 @@ std::uint64_t ShardedSimulator::run_impl(SimTime mark) {
     // horizon, so the window sequence — and with it the event order — is
     // the same whether or not the run was paused here.
     if (bounded && t_min >= mark) break;
-    window_end_ = t_min + lookahead_;
+    window_end_ = plan_window(t_min, drained);
     ++windows_;
     if (trace_ != nullptr) {
       obs::ShardTrace* ring = trace_->coordinator();
@@ -272,7 +388,11 @@ std::uint64_t ShardedSimulator::run_impl(SimTime mark) {
   }
 
   // Workers stay parked on the epoch wait for the next run; the
-  // destructor stops and joins them.
+  // destructor stops and joins them. Cached promise bounds are only
+  // meaningful inside the window that evaluated them — clear them so
+  // coordinator-side posts between runs are not checked against stale
+  // bounds.
+  std::fill(promised_.begin(), promised_.end(), 0.0);
   if (failed_.load(std::memory_order_acquire)) {
     std::exception_ptr err;
     {

@@ -54,6 +54,11 @@ struct Group {
   std::uint64_t participant_counter = 0;
   std::uint32_t round = 0;
   std::uint64_t total_uploads = 0;
+  /// Cross-shard relay posts this group's hierarchy has made in the
+  /// current round (stream, in async mode). Feeds the shard's outbound
+  /// promise under adaptive/optimistic sync; re-armed with the round, and
+  /// never serialized — resume replay re-derives it from the boundary.
+  std::uint64_t relays_done = 0;
 
   // Client-side fault telemetry, cumulative across rounds (group-local
   // event order only, so bitwise shard-invariant; checkpointed).

@@ -8,9 +8,12 @@
 #include <cmath>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/calibration.hpp"
@@ -199,6 +202,190 @@ TEST(ShardedSim, MailboxDeliversInTimestampOrderAcrossWindows) {
     if (i > 0) EXPECT_GE(log[i].t, log[i - 1].t);
   }
   EXPECT_GT(sharded.windows(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial churn stress: ~50k events across 8 logical groups whose
+// cross-posts land exactly on window-boundary grid points, exactly at the
+// conservative horizon (now + lookahead), and one tick inside the
+// speculation horizon — the three places a sync-mode bug would first
+// corrupt delivery order. Every (shard count x sync mode) combination must
+// reproduce the 1-shard oracle's per-group delivery log bitwise; the
+// optimistic runs recover from real rollbacks by whole-model replay with
+// the fence raised (the toy equivalent of the campaign driver's
+// commit-restore loop, with t = 0 as the only commit).
+
+struct ChurnStep {
+  double at;        ///< group-local event time
+  int dst;          ///< target group (-1 = no post)
+  double delivery;  ///< posted delivery time when dst >= 0
+};
+
+constexpr double kChurnLookahead = 0.01;
+constexpr std::size_t kChurnGroups = 8;
+
+std::vector<std::vector<ChurnStep>> churn_plans() {
+  std::vector<std::vector<ChurnStep>> plans(kChurnGroups);
+  // Same-instant deliveries to one group from *different* sources are
+  // tie-broken by (source shard, post seq) — deterministic for a fixed
+  // shard count but legitimately dependent on the group->shard mapping,
+  // so the boundary-hugging schedule must keep (dst, delivery) unique for
+  // the cross-K bitwise claim to be the protocol's own. A one-ulp nudge
+  // keeps colliding posts on (practically) the boundary.
+  std::set<std::pair<int, double>> taken;
+  for (std::size_t g = 0; g < kChurnGroups; ++g) {
+    lifl::sim::Rng rng(1000 + g);
+    double t = rng.uniform(0.0, 0.02);
+    for (int i = 0; i < 4500; ++i) {
+      // Dense bursts on a lookahead-aligned grid, with occasional idle
+      // troughs long enough for the optimistic speculation bonus to ramp.
+      const double u = rng.uniform(0.0, 1.0);
+      if (u < 0.5) {
+        t += kChurnLookahead *
+             static_cast<double>(1 + static_cast<int>(rng.uniform(0.0, 3.0)));
+      } else if (u < 0.95) {
+        t += rng.uniform(0.0005, 0.03);
+      } else {
+        t += rng.uniform(0.5, 2.0);
+      }
+      ChurnStep st{t, -1, 0.0};
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        st.dst = static_cast<int>(
+            (g + 1 + static_cast<std::size_t>(rng.uniform(
+                         0.0, static_cast<double>(kChurnGroups - 1)))) %
+            kChurnGroups);
+        const double v = rng.uniform(0.0, 1.0);
+        const double floor_t = t + kChurnLookahead;
+        if (v < 0.4) {
+          // Exactly on a window-boundary grid point at/after the clamp.
+          st.delivery = kChurnLookahead *
+                        std::ceil(floor_t / kChurnLookahead);
+        } else if (v < 0.7) {
+          st.delivery = floor_t;  // exactly at the conservative horizon
+        } else if (v < 0.9) {
+          st.delivery = floor_t + kChurnLookahead * 1e-9;  // one tick inside
+        } else {
+          st.delivery = floor_t + rng.uniform(0.0, 5.0 * kChurnLookahead);
+        }
+        while (!taken.insert({st.dst, st.delivery}).second) {
+          st.delivery = std::nextafter(
+              st.delivery, std::numeric_limits<double>::infinity());
+        }
+      }
+      plans[g].push_back(st);
+    }
+  }
+  return plans;
+}
+
+struct ChurnDelivery {
+  double t;
+  int id;
+  bool operator==(const ChurnDelivery& o) const {
+    return t == o.t && id == o.id;
+  }
+};
+
+/// One full run of the churn model on `shards` shards (groups dealt round
+/// robin). Returns per-group delivery logs; each group's log is written
+/// only by its owning shard's thread, in that shard's deterministic
+/// execution order.
+std::vector<std::vector<ChurnDelivery>> churn_run(
+    const std::vector<std::vector<ChurnStep>>& plans, std::size_t shards,
+    lifl::sim::SyncMode sync, double fence, std::uint64_t* dispatched,
+    std::uint64_t* skipped) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = shards;
+  cfg.lookahead = kChurnLookahead;
+  cfg.sync = sync;
+  cfg.spec_fence = fence;
+  ShardedSimulator sharded(cfg);
+  std::vector<std::vector<ChurnDelivery>> logs(kChurnGroups);
+  const auto shard_of = [shards](std::size_t g) { return g % shards; };
+  for (std::size_t g = 0; g < kChurnGroups; ++g) {
+    const std::size_t s = shard_of(g);
+    for (std::size_t i = 0; i < plans[g].size(); ++i) {
+      const ChurnStep& st = plans[g][i];
+      sharded.shard(s).schedule_at(st.at, [&sharded, &logs, &st, &shard_of,
+                                           s, g, i] {
+        if (st.dst >= 0) {
+          const std::size_t dg = static_cast<std::size_t>(st.dst);
+          const int id = static_cast<int>(g * 10000 + i);
+          sharded.post(s, shard_of(dg), st.delivery, [&sharded, &logs,
+                                                      &shard_of, dg, id] {
+            logs[dg].push_back(
+                ChurnDelivery{sharded.shard(shard_of(dg)).now(), id});
+          });
+        }
+      });
+    }
+  }
+  sharded.run();
+  if (dispatched != nullptr) *dispatched = sharded.dispatched();
+  if (skipped != nullptr) *skipped = sharded.windows_skipped();
+  return logs;
+}
+
+TEST(ShardedSim, AdversarialChurnMatchesOneShardOracleAcrossSyncModes) {
+  std::size_t multi = 2;
+  if (const char* env = std::getenv("LIFL_TEST_SHARDS")) {
+    multi = std::max<std::size_t>(2, std::strtoul(env, nullptr, 10));
+  }
+  const auto plans = churn_plans();
+  std::uint64_t oracle_events = 0;
+  const auto oracle = churn_run(plans, 1, lifl::sim::SyncMode::kConservative,
+                                0.0, &oracle_events, nullptr);
+  EXPECT_GE(oracle_events, 50'000u);
+
+  const auto expect_match = [&oracle](
+                                const std::vector<std::vector<ChurnDelivery>>&
+                                    got,
+                                const std::string& what) {
+    for (std::size_t g = 0; g < kChurnGroups; ++g) {
+      ASSERT_EQ(got[g].size(), oracle[g].size()) << what << " group " << g;
+      for (std::size_t i = 0; i < got[g].size(); ++i) {
+        EXPECT_TRUE(got[g][i] == oracle[g][i])
+            << what << " group " << g << " delivery " << i;
+        EXPECT_GE(got[g][i].t, i > 0 ? got[g][i - 1].t : 0.0)
+            << what << " group " << g << " delivery " << i;
+      }
+    }
+  };
+
+  for (const std::size_t shards : {std::size_t{2}, multi}) {
+    std::uint64_t events = 0;
+    expect_match(churn_run(plans, shards, lifl::sim::SyncMode::kConservative,
+                           0.0, &events, nullptr),
+                 "conservative K=" + std::to_string(shards));
+    EXPECT_EQ(events, oracle_events);
+    expect_match(churn_run(plans, shards, lifl::sim::SyncMode::kAdaptive, 0.0,
+                           &events, nullptr),
+                 "adaptive K=" + std::to_string(shards));
+    EXPECT_EQ(events, oracle_events);
+
+    // Optimistic: replay the whole model with the fence raised after each
+    // CausalityViolation — fences only grow, so the loop terminates.
+    double fence = 0.0;
+    int rollbacks = 0;
+    for (;; ++rollbacks) {
+      ASSERT_LT(rollbacks, 200) << "optimistic churn failed to converge";
+      try {
+        std::uint64_t skipped = 0;
+        expect_match(churn_run(plans, shards, lifl::sim::SyncMode::kOptimistic,
+                               fence, &events, &skipped),
+                     "optimistic K=" + std::to_string(shards));
+        EXPECT_EQ(events, oracle_events);
+        break;
+      } catch (const lifl::sim::CausalityViolation& v) {
+        EXPECT_GT(v.receiver_now, fence);  // progress, or the loop spins
+        fence = v.receiver_now;
+      }
+    }
+    if (shards == 2) {
+      // The boundary-hugging schedule really does trip speculation.
+      EXPECT_GT(rollbacks, 0) << "stress never exercised a rollback";
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
